@@ -1,0 +1,153 @@
+// Package aisle is the public API of the AISLE reference implementation —
+// a complete, simulation-backed realization of the Autonomous
+// Interconnected Science Lab Ecosystem described in "A Grassroots Network
+// and Community Roadmap for Interconnected Autonomous Science Laboratories
+// for Accelerated Discovery" (ICPP 2025).
+//
+// The facade re-exports the stable surface of the internal packages:
+//
+//   - federation assembly (New, Config, Network, Site),
+//   - instruments and their digital twins (NewFluidicReactor, twins...),
+//   - closed-loop campaigns (RunCampaign, CampaignConfig),
+//   - the experiment suite that regenerates the paper's milestone claims.
+//
+// A minimal autonomous campaign:
+//
+//	n := aisle.New(aisle.Config{
+//	    Seed:            1,
+//	    Sites:           []aisle.SiteID{"ornl", "anl"},
+//	    Link:            aisle.DefaultLink(),
+//	    SharedKnowledge: true,
+//	})
+//	s := n.Site("ornl")
+//	s.AddInstrument(aisle.NewFluidicReactor(n.Eng, n.Rnd, "flow-1", "ornl", aisle.Perovskite{}))
+//	n.RunCampaign(aisle.CampaignConfig{
+//	    Name: "demo", Site: "ornl", Model: aisle.Perovskite{},
+//	    Budget: 30, Mode: aisle.OrchAgentVerified,
+//	    SynthKind: aisle.KindFlowReactor,
+//	}, func(rep *aisle.CampaignReport) { fmt.Println(rep.BestValue) })
+//	n.Eng.Run()
+package aisle
+
+import (
+	"github.com/aisle-sim/aisle/internal/core"
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+// Federation assembly.
+type (
+	// Config assembles a federation; see New.
+	Config = core.Config
+	// Network is the assembled AISLE federation.
+	Network = core.Network
+	// Site is one institution's full stack.
+	Site = core.Site
+	// SiteID names an institution.
+	SiteID = netsim.SiteID
+	// Link parameterizes a WAN connection between sites.
+	Link = netsim.Link
+)
+
+// Campaigns.
+type (
+	// CampaignConfig describes one closed-loop discovery campaign.
+	CampaignConfig = core.CampaignConfig
+	// CampaignReport is a campaign outcome.
+	CampaignReport = core.CampaignReport
+	// Orchestration selects manual / agent / verified-agent control.
+	Orchestration = core.Orchestration
+)
+
+// Orchestration modes.
+const (
+	OrchManual        = core.OrchManual
+	OrchAgent         = core.OrchAgent
+	OrchAgentVerified = core.OrchAgentVerified
+)
+
+// Instruments.
+type (
+	// Instrument is a simulated laboratory instrument.
+	Instrument = instrument.Instrument
+	// InstrumentCommand requests one action execution.
+	InstrumentCommand = instrument.Command
+	// InstrumentResult is an action outcome.
+	InstrumentResult = instrument.Result
+)
+
+// Instrument service kinds (DNS-SD style types).
+const (
+	KindSynthesis    = instrument.KindSynthesis
+	KindFlowReactor  = instrument.KindFlowReactor
+	KindXRD          = instrument.KindXRD
+	KindTEM          = instrument.KindTEM
+	KindSpectrometer = instrument.KindSpectrometer
+	KindFurnace      = instrument.KindFurnace
+	KindHPC          = instrument.KindHPC
+)
+
+// Digital-twin ground-truth models.
+type (
+	// Model is a physics ground-truth process model.
+	Model = twin.Model
+	// Perovskite models flow-reactor CsPb(Br/I)3 nanocrystal synthesis.
+	Perovskite = twin.Perovskite
+	// QuantumDot models the ~1e13-condition Smart Dope synthesis space.
+	QuantumDot = twin.QuantumDot
+	// Alloy models ternary alloy annealing.
+	Alloy = twin.Alloy
+	// Reaction models homogeneous catalysis yield.
+	Reaction = twin.Reaction
+)
+
+// Virtual time (nanoseconds); see the sim package for arithmetic helpers.
+type Time = sim.Time
+
+// Common virtual durations.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+	Day         = sim.Day
+)
+
+// New assembles a federation from the config: sites with brokers,
+// registries, identity providers, data nodes, and knowledge bases, joined
+// by a full-mesh WAN, with discovery gossip running.
+func New(cfg Config) *Network { return core.New(cfg) }
+
+// DefaultLink is a realistic lab-to-lab WAN link (15 ms, 1 Gbit/s, 0.1%
+// loss).
+func DefaultLink() Link { return core.DefaultLink() }
+
+// NewFluidicReactor builds a droplet-microfluidic self-driving-lab reactor
+// (~15 s per experiment) measuring the given twin model.
+func NewFluidicReactor(eng *sim.Engine, r *rng.Stream, id, site string, m Model) *Instrument {
+	return instrument.NewFluidicReactor(eng, r, id, site, m)
+}
+
+// NewBatchReactor builds a classical batch synthesis robot (~30 min per
+// sample).
+func NewBatchReactor(eng *sim.Engine, r *rng.Stream, id, site string, m Model) *Instrument {
+	return instrument.NewBatchReactor(eng, r, id, site, m)
+}
+
+// NewSpectrometer builds a fast optical characterization instrument.
+func NewSpectrometer(eng *sim.Engine, r *rng.Stream, id, site string) *Instrument {
+	return instrument.NewSpectrometer(eng, r, id, site)
+}
+
+// NewXRD builds an X-ray diffractometer.
+func NewXRD(eng *sim.Engine, r *rng.Stream, id, site string) *Instrument {
+	return instrument.NewXRD(eng, r, id, site)
+}
+
+// NewHPC builds a compute cluster scheduled like an instrument.
+func NewHPC(eng *sim.Engine, r *rng.Stream, id, site string, nodes float64) *Instrument {
+	return instrument.NewHPC(eng, r, id, site, nodes)
+}

@@ -1,0 +1,53 @@
+// Command aisle-bench regenerates the experiment tables that reproduce the
+// AISLE paper's milestone claims (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	aisle-bench [-quick] [-seed N] [-replicas N] [-list] [experiment IDs...]
+//
+// With no IDs, every experiment runs in order. Results print as aligned
+// text tables, one per claim, matching EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/aisle-sim/aisle/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads (CI mode)")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	replicas := flag.Int("replicas", 0, "replicas per condition (0 = default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-5s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Replicas: *replicas}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("[%s completed in %.1fs wall]\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,176 @@
+// Command aisle-sim runs a configurable AISLE federation scenario from a
+// JSON file and reports the campaign outcome.
+//
+// Usage:
+//
+//	aisle-sim -config scenario.json
+//	aisle-sim -example          # print a template scenario and exit
+//
+// The scenario schema (see -example) declares sites, per-site instruments,
+// and one campaign.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/aisle-sim/aisle"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+// Scenario is the JSON configuration schema.
+type Scenario struct {
+	Seed            uint64   `json:"seed"`
+	Sites           []string `json:"sites"`
+	ZeroTrust       bool     `json:"zero_trust"`
+	SharedKnowledge bool     `json:"shared_knowledge"`
+	Instruments     []struct {
+		Site string `json:"site"`
+		Kind string `json:"kind"` // fluidic | batch | spectrometer | xrd | hpc
+		ID   string `json:"id"`
+	} `json:"instruments"`
+	Campaign struct {
+		Site         string  `json:"site"`
+		Model        string  `json:"model"` // perovskite | quantum-dot | alloy | reaction
+		Budget       int     `json:"budget"`
+		Target       float64 `json:"target"`
+		Mode         string  `json:"mode"` // manual | agent | verified
+		SynthKind    string  `json:"synth_kind"`
+		UseKnowledge bool    `json:"use_knowledge"`
+	} `json:"campaign"`
+}
+
+const exampleScenario = `{
+  "seed": 1,
+  "sites": ["ornl", "anl"],
+  "zero_trust": true,
+  "shared_knowledge": true,
+  "instruments": [
+    {"site": "ornl", "kind": "fluidic", "id": "flow-1"},
+    {"site": "anl", "kind": "spectrometer", "id": "spec-1"}
+  ],
+  "campaign": {
+    "site": "ornl",
+    "model": "perovskite",
+    "budget": 30,
+    "target": 0,
+    "mode": "verified",
+    "synth_kind": "_flow._aisle",
+    "use_knowledge": true
+  }
+}`
+
+func main() {
+	configPath := flag.String("config", "", "scenario JSON path")
+	example := flag.Bool("example", false, "print a template scenario and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleScenario)
+		return
+	}
+
+	var raw []byte
+	var err error
+	if *configPath == "" {
+		raw = []byte(exampleScenario)
+		fmt.Fprintln(os.Stderr, "aisle-sim: no -config given, running the template scenario")
+	} else {
+		raw, err = os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var sc Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		log.Fatalf("aisle-sim: bad scenario: %v", err)
+	}
+
+	sites := make([]aisle.SiteID, len(sc.Sites))
+	for i, s := range sc.Sites {
+		sites[i] = aisle.SiteID(s)
+	}
+	n := aisle.New(aisle.Config{
+		Seed:            sc.Seed,
+		Sites:           sites,
+		Link:            aisle.DefaultLink(),
+		ZeroTrust:       sc.ZeroTrust,
+		SharedKnowledge: sc.SharedKnowledge,
+	})
+	defer n.Stop()
+
+	models := twin.Registry()
+	model, ok := models[sc.Campaign.Model]
+	if !ok {
+		log.Fatalf("aisle-sim: unknown model %q", sc.Campaign.Model)
+	}
+
+	for _, inst := range sc.Instruments {
+		site := n.Site(aisle.SiteID(inst.Site))
+		if site == nil {
+			log.Fatalf("aisle-sim: instrument at unknown site %q", inst.Site)
+		}
+		switch inst.Kind {
+		case "fluidic":
+			site.AddInstrument(aisle.NewFluidicReactor(n.Eng, n.Rnd, inst.ID, inst.Site, model))
+		case "batch":
+			site.AddInstrument(aisle.NewBatchReactor(n.Eng, n.Rnd, inst.ID, inst.Site, model))
+		case "spectrometer":
+			site.AddInstrument(aisle.NewSpectrometer(n.Eng, n.Rnd, inst.ID, inst.Site))
+		case "xrd":
+			site.AddInstrument(aisle.NewXRD(n.Eng, n.Rnd, inst.ID, inst.Site))
+		case "hpc":
+			site.AddInstrument(aisle.NewHPC(n.Eng, n.Rnd, inst.ID, inst.Site, 64))
+		default:
+			log.Fatalf("aisle-sim: unknown instrument kind %q", inst.Kind)
+		}
+	}
+	if err := n.RunFor(3 * aisle.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	mode := aisle.OrchAgentVerified
+	switch sc.Campaign.Mode {
+	case "manual":
+		mode = aisle.OrchManual
+	case "agent":
+		mode = aisle.OrchAgent
+	}
+
+	var rep *aisle.CampaignReport
+	n.RunCampaign(aisle.CampaignConfig{
+		Name:         "scenario",
+		Site:         aisle.SiteID(sc.Campaign.Site),
+		Model:        model,
+		Budget:       sc.Campaign.Budget,
+		Target:       sc.Campaign.Target,
+		Mode:         mode,
+		SynthKind:    sc.Campaign.SynthKind,
+		UseKnowledge: sc.Campaign.UseKnowledge,
+	}, func(r *aisle.CampaignReport) { rep = r })
+	for rep == nil {
+		if err := n.RunFor(6 * aisle.Hour); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.Err != nil {
+		log.Fatal(rep.Err)
+	}
+
+	out, _ := json.MarshalIndent(map[string]any{
+		"executed":        rep.Executed,
+		"reused":          rep.Reused,
+		"failures":        rep.Failures,
+		"best_value":      rep.BestValue,
+		"best_point":      rep.BestPoint,
+		"makespan":        rep.Makespan().String(),
+		"decision_time":   rep.DecisionTime.String(),
+		"instrument_time": rep.InstrumentTime.String(),
+		"correctness":     rep.Correctness(),
+		"trace_approval":  rep.ApprovalRate(),
+	}, "", "  ")
+	fmt.Println(string(out))
+}

@@ -1,0 +1,93 @@
+// Command aislectl inspects a live AISLE federation testbed: it assembles
+// the standard three-site network, lets discovery converge, and answers
+// operational queries.
+//
+// Usage:
+//
+//	aislectl sites        # list sites and their stacks
+//	aislectl instruments  # list every advertised instrument record
+//	aislectl browse KIND  # browse a service kind (e.g. _flow._aisle)
+//	aislectl smoke        # run a 10-experiment smoke campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/aisle-sim/aisle"
+	"github.com/aisle-sim/aisle/internal/instrument"
+)
+
+func buildTestbed() *aisle.Network {
+	n := aisle.New(aisle.Config{
+		Seed:            1,
+		Sites:           []aisle.SiteID{"ornl", "anl", "slac"},
+		Link:            aisle.DefaultLink(),
+		ZeroTrust:       true,
+		SharedKnowledge: true,
+	})
+	for _, id := range n.Sites() {
+		s := n.Site(id)
+		s.AddInstrument(aisle.NewFluidicReactor(n.Eng, n.Rnd, "flow-"+string(id), string(id), aisle.Perovskite{}))
+		s.AddInstrument(aisle.NewSpectrometer(n.Eng, n.Rnd, "spec-"+string(id), string(id)))
+	}
+	if err := n.RunFor(3 * aisle.Minute); err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+func main() {
+	cmd := "sites"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	n := buildTestbed()
+	defer n.Stop()
+
+	switch cmd {
+	case "sites":
+		for _, id := range n.Sites() {
+			s := n.Site(id)
+			fmt.Printf("%-6s instruments=%v broker-endpoints=%v knowledge=%d\n",
+				id, s.Fleet.IDs(), s.Broker.Endpoints(), s.Knowledge.Size())
+		}
+	case "instruments":
+		reg := n.Site(n.Sites()[0]).Registry
+		for _, kind := range []string{
+			instrument.KindFlowReactor, instrument.KindSpectrometer,
+			instrument.KindSynthesis, instrument.KindXRD,
+		} {
+			for _, rec := range reg.Browse(kind) {
+				fmt.Println(rec)
+			}
+		}
+	case "browse":
+		if len(os.Args) < 3 {
+			log.Fatal("aislectl browse KIND")
+		}
+		for _, rec := range n.Site(n.Sites()[0]).Registry.Browse(os.Args[2]) {
+			fmt.Println(rec)
+		}
+	case "smoke":
+		var rep *aisle.CampaignReport
+		n.RunCampaign(aisle.CampaignConfig{
+			Name: "smoke", Site: "ornl", Model: aisle.Perovskite{},
+			Budget: 10, Mode: aisle.OrchAgentVerified,
+			SynthKind: aisle.KindFlowReactor, UseKnowledge: true,
+		}, func(r *aisle.CampaignReport) { rep = r })
+		for rep == nil {
+			if err := n.RunFor(aisle.Hour); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if rep.Err != nil {
+			log.Fatal(rep.Err)
+		}
+		fmt.Printf("smoke: %d experiments, best %.3f, makespan %v, correctness %.0f%%\n",
+			rep.Executed, rep.BestValue, rep.Makespan(), rep.Correctness()*100)
+	default:
+		log.Fatalf("aislectl: unknown command %q (sites|instruments|browse|smoke)", cmd)
+	}
+}

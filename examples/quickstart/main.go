@@ -1,0 +1,68 @@
+// Quickstart: assemble a two-site AISLE federation, add a fluidic reactor,
+// and run a 30-experiment autonomous perovskite campaign with a verified
+// LLM orchestrator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aisle-sim/aisle"
+)
+
+func main() {
+	// 1. Assemble the federation: two institutions, realistic WAN,
+	//    zero-trust messaging, shared knowledge.
+	n := aisle.New(aisle.Config{
+		Seed:            1,
+		Sites:           []aisle.SiteID{"ornl", "anl"},
+		Link:            aisle.DefaultLink(),
+		ZeroTrust:       true,
+		SharedKnowledge: true,
+	})
+	defer n.Stop()
+
+	// 2. Install instruments. Each advertises a self-describing record in
+	//    the federated service directory.
+	ornl := n.Site("ornl")
+	ornl.AddInstrument(aisle.NewFluidicReactor(n.Eng, n.Rnd, "flow-1", "ornl", aisle.Perovskite{}))
+	anl := n.Site("anl")
+	anl.AddInstrument(aisle.NewSpectrometer(n.Eng, n.Rnd, "spec-1", "anl"))
+
+	// 3. Let service discovery converge.
+	if err := n.RunFor(3 * aisle.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run the closed loop: propose (Bayesian optimization) -> verify
+	//    (digital twin) -> execute (instrument) -> ingest -> learn.
+	var report *aisle.CampaignReport
+	n.RunCampaign(aisle.CampaignConfig{
+		Name:             "quickstart",
+		Site:             "ornl",
+		Model:            aisle.Perovskite{},
+		Budget:           30,
+		Mode:             aisle.OrchAgentVerified,
+		SynthKind:        aisle.KindFlowReactor,
+		CharacterizeKind: aisle.KindSpectrometer,
+		UseKnowledge:     true,
+	}, func(r *aisle.CampaignReport) { report = r })
+
+	for report == nil {
+		if err := n.RunFor(6 * aisle.Hour); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if report.Err != nil {
+		log.Fatal(report.Err)
+	}
+
+	fmt.Printf("campaign:        %s\n", report.Name)
+	fmt.Printf("experiments:     %d executed, %d failures\n", report.Executed, report.Failures)
+	fmt.Printf("best PLQY:       %.3f at %v\n", report.BestValue, report.BestPoint)
+	fmt.Printf("makespan:        %v (decisions %v, instruments %v)\n",
+		report.Makespan(), report.DecisionTime, report.InstrumentTime)
+	fmt.Printf("correctness:     %.1f%% (%d verification repairs)\n",
+		report.Correctness()*100, report.Repaired)
+	fmt.Printf("trace approvals: %d/%d\n", report.Approvals, report.Traces)
+}

@@ -1,0 +1,320 @@
+// Package agents provides AISLE's agent runtime: stateful agents addressed
+// through the bus, heartbeat-based failure detection, supervision with
+// automatic restart, hierarchical topologies (orchestrator / planner /
+// executor / evaluator), and the contract-net protocol for task allocation
+// across facilities — the "adaptive, fault-tolerant agent coordination
+// mechanisms" of the paper's challenge list.
+package agents
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// Errors surfaced by the runtime.
+var (
+	ErrNoAgent = errors.New("agents: no such agent")
+	ErrNoBids  = errors.New("agents: no bids received")
+)
+
+// Role labels an agent's position in the hierarchy.
+type Role string
+
+// Standard roles.
+const (
+	RoleOrchestrator Role = "orchestrator"
+	RolePlanner      Role = "planner"
+	RoleExecutor     Role = "executor"
+	RoleEvaluator    Role = "evaluator"
+	RoleCurator      Role = "curator"
+)
+
+// HandlerFunc processes one method invocation on an agent.
+type HandlerFunc func(payload any) (any, error)
+
+// Agent is a stateful actor bound to a site. Its mailbox is a bus endpoint
+// named after it; handlers are registered per method.
+type Agent struct {
+	name  string
+	site  netsim.SiteID
+	role  Role
+	rt    *Runtime
+	setup func(*Agent)
+
+	handlers map[string]HandlerFunc
+	state    map[string]any
+
+	alive     bool
+	restarts  int
+	beatStop  func()
+	processed int
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Site returns the agent's home site.
+func (a *Agent) Site() netsim.SiteID { return a.site }
+
+// Role returns the agent's role.
+func (a *Agent) Role() Role { return a.role }
+
+// Alive reports liveness.
+func (a *Agent) Alive() bool { return a.alive }
+
+// Restarts reports how many times the supervisor has restarted this agent.
+func (a *Agent) Restarts() int { return a.restarts }
+
+// Addr returns the agent's bus address.
+func (a *Agent) Addr() bus.Address { return bus.Address{Site: a.site, Name: a.name} }
+
+// On registers a method handler. Handlers run at message-delivery time.
+func (a *Agent) On(method string, fn HandlerFunc) {
+	a.handlers[method] = fn
+}
+
+// Set stores agent-local state (survives messages, lost on restart).
+func (a *Agent) Set(key string, v any) { a.state[key] = v }
+
+// Get fetches agent-local state.
+func (a *Agent) Get(key string) (any, bool) {
+	v, ok := a.state[key]
+	return v, ok
+}
+
+// Call invokes a method on another agent asynchronously.
+func (a *Agent) Call(to bus.Address, method string, payload any, timeout sim.Time, cb func(any, error)) {
+	a.rt.fabric.Call(bus.CallOpts{
+		From: a.Addr(), To: to, Method: method, Payload: payload, Timeout: timeout,
+	}, cb)
+}
+
+// Runtime manages the agents of a federation.
+type Runtime struct {
+	fabric  *bus.Fabric
+	eng     *sim.Engine
+	metrics *telemetry.Registry
+	agents  map[string]*Agent
+
+	// HeartbeatEvery is the liveness cadence. Default 5s.
+	HeartbeatEvery sim.Time
+	// MissedBeatsForDead marks an agent dead after this many missed beats.
+	// Default 3.
+	MissedBeatsForDead int
+}
+
+// NewRuntime builds an agent runtime over the bus.
+func NewRuntime(fabric *bus.Fabric) *Runtime {
+	return &Runtime{
+		fabric:             fabric,
+		eng:                fabric.Engine(),
+		metrics:            telemetry.NewRegistry(),
+		agents:             make(map[string]*Agent),
+		HeartbeatEvery:     5 * sim.Second,
+		MissedBeatsForDead: 3,
+	}
+}
+
+// Metrics exposes runtime telemetry.
+func (rt *Runtime) Metrics() *telemetry.Registry { return rt.metrics }
+
+// Agent fetches a live or dead agent by name.
+func (rt *Runtime) Agent(name string) (*Agent, bool) {
+	a, ok := rt.agents[name]
+	return a, ok
+}
+
+// Agents lists agent names, sorted.
+func (rt *Runtime) Agents() []string {
+	out := make([]string, 0, len(rt.agents))
+	for n := range rt.agents {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spawn creates and starts an agent. setup registers handlers and initial
+// state; it runs again on supervisor restarts (fresh state).
+func (rt *Runtime) Spawn(site netsim.SiteID, name string, role Role, setup func(*Agent)) *Agent {
+	a := &Agent{
+		name: name, site: site, role: role, rt: rt, setup: setup,
+		handlers: make(map[string]HandlerFunc),
+		state:    make(map[string]any),
+		alive:    true,
+	}
+	rt.agents[name] = a
+	rt.metrics.Counter("agents.spawned").Inc()
+	rt.bind(a)
+	if setup != nil {
+		setup(a)
+	}
+	return a
+}
+
+// bind installs the agent's bus endpoint dispatching to its handlers.
+func (rt *Runtime) bind(a *Agent) {
+	rt.fabric.Broker(a.site).Register(a.name, func(env *bus.Envelope, respond func(any, error)) {
+		if !a.alive {
+			respond(nil, fmt.Errorf("%w: %s is dead", ErrNoAgent, a.name))
+			return
+		}
+		h, ok := a.handlers[env.Method]
+		if !ok {
+			respond(nil, fmt.Errorf("agents: %s has no handler for %q", a.name, env.Method))
+			return
+		}
+		a.processed++
+		rt.metrics.Counter("agents.messages").Inc()
+		respond(h(env.Payload))
+	})
+}
+
+// Kill simulates an agent crash: the endpoint stays but refuses calls, and
+// heartbeats stop.
+func (rt *Runtime) Kill(name string) {
+	a, ok := rt.agents[name]
+	if !ok {
+		return
+	}
+	a.alive = false
+	rt.metrics.Counter("agents.killed").Inc()
+}
+
+// restart revives a crashed agent with fresh state via its setup function.
+func (rt *Runtime) restart(a *Agent) {
+	a.alive = true
+	a.restarts++
+	a.handlers = make(map[string]HandlerFunc)
+	a.state = make(map[string]any)
+	rt.metrics.Counter("agents.restarts").Inc()
+	if a.setup != nil {
+		a.setup(a)
+	}
+}
+
+// Supervisor watches a set of agents and restarts any that die. It detects
+// death by direct liveness probes on the runtime (heartbeat RPCs would
+// traverse the network; the supervisor lives at the same site as its
+// children in this topology, so probes are local).
+type Supervisor struct {
+	rt       *Runtime
+	children []string
+	stop     func()
+
+	// ProbeEvery is the liveness check cadence. Default 5s.
+	ProbeEvery sim.Time
+	// RestartDelay models the respawn cost. Default 2s.
+	RestartDelay sim.Time
+}
+
+// NewSupervisor builds (but does not start) a supervisor for the agents.
+func NewSupervisor(rt *Runtime, children ...string) *Supervisor {
+	return &Supervisor{rt: rt, children: children, ProbeEvery: 5 * sim.Second, RestartDelay: 2 * sim.Second}
+}
+
+// Start begins supervision.
+func (s *Supervisor) Start() {
+	s.stop = s.rt.eng.Ticker(s.ProbeEvery, func(int) {
+		for _, name := range s.children {
+			a, ok := s.rt.agents[name]
+			if !ok || a.alive {
+				continue
+			}
+			s.rt.eng.Schedule(s.RestartDelay, func() {
+				if !a.alive {
+					s.rt.restart(a)
+				}
+			})
+		}
+	})
+}
+
+// Stop ends supervision.
+func (s *Supervisor) Stop() {
+	if s.stop != nil {
+		s.stop()
+	}
+}
+
+// Task is a unit of work announced through the contract net.
+type Task struct {
+	ID      string
+	Kind    string
+	Payload any
+}
+
+// Bid is an agent's response to a call-for-proposals. Higher Value wins.
+type Bid struct {
+	Agent string
+	Value float64
+}
+
+// ContractNet runs one round of the contract-net protocol: announce the
+// task to candidates (method "cnp.bid" returning a Bid), collect bids until
+// the deadline, award to the best bidder (method "cnp.award"), and deliver
+// the award result to cb. Candidates that fail to respond simply don't bid.
+func ContractNet(rt *Runtime, from bus.Address, task Task, candidates []bus.Address,
+	deadline sim.Time, cb func(winner string, result any, err error)) {
+
+	var bids []Bid
+	outstanding := len(candidates)
+	if outstanding == 0 {
+		cb("", nil, ErrNoBids)
+		return
+	}
+	decided := false
+
+	decide := func() {
+		if decided {
+			return
+		}
+		decided = true
+		if len(bids) == 0 {
+			cb("", nil, ErrNoBids)
+			return
+		}
+		sort.Slice(bids, func(i, j int) bool {
+			if bids[i].Value != bids[j].Value {
+				return bids[i].Value > bids[j].Value
+			}
+			return bids[i].Agent < bids[j].Agent
+		})
+		winner := bids[0]
+		rt.metrics.Counter("agents.cnp_awards").Inc()
+		wa, ok := rt.agents[winner.Agent]
+		if !ok {
+			cb("", nil, fmt.Errorf("%w: winner %s vanished", ErrNoAgent, winner.Agent))
+			return
+		}
+		rt.fabric.Call(bus.CallOpts{
+			From: from, To: wa.Addr(), Method: "cnp.award", Payload: task, Timeout: deadline,
+		}, func(result any, err error) {
+			cb(winner.Agent, result, err)
+		})
+	}
+
+	for _, c := range candidates {
+		rt.fabric.Call(bus.CallOpts{
+			From: from, To: c, Method: "cnp.bid", Payload: task, Timeout: deadline,
+		}, func(result any, err error) {
+			outstanding--
+			if err == nil {
+				if b, ok := result.(Bid); ok {
+					bids = append(bids, b)
+				}
+			}
+			if outstanding == 0 {
+				decide()
+			}
+		})
+	}
+	// Deadline backstop in case some candidates never answer.
+	rt.eng.Schedule(deadline+sim.Millisecond, decide)
+}

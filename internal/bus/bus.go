@@ -1,0 +1,418 @@
+// Package bus implements the interoperable agent-communication layer of
+// AISLE (paper dimension 4, milestone M10): message-oriented middleware over
+// the simulated WAN offering the three interaction patterns the paper calls
+// for —
+//
+//   - synchronous request-reply RPC with timeouts, retries, and failover
+//     (the role gRPC plays in the roadmap),
+//   - asynchronous work queues with acknowledgements, redelivery, and
+//     dead-lettering (the role of AMQP), and
+//   - publish/subscribe fan-out with at-most-once or at-least-once QoS.
+//
+// Delivery middleware hooks let the zero-trust layer (internal/security)
+// authenticate every message without the bus knowing about tokens.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// Address identifies an endpoint: a named mailbox at a site.
+type Address struct {
+	Site netsim.SiteID
+	Name string
+}
+
+// String renders site/name.
+func (a Address) String() string { return string(a.Site) + "/" + a.Name }
+
+// Kind discriminates envelope types on the wire.
+type Kind int
+
+// Envelope kinds.
+const (
+	KindRequest Kind = iota
+	KindReply
+	KindEvent
+	KindQueueMsg
+	KindAck
+	KindNack
+)
+
+// Envelope is one bus-level message.
+type Envelope struct {
+	ID      uint64
+	Kind    Kind
+	From    Address
+	To      Address
+	Topic   string // event topic or queue name
+	Method  string // RPC method
+	CorrID  uint64 // request/response correlation, delivery tag for acks
+	Payload any
+	Token   any // opaque credential checked by middleware
+	Size    int // payload size in bytes for the network model
+	Attempt int // delivery attempt, 1-based
+}
+
+// Errors surfaced to RPC callers and queue producers.
+var (
+	ErrTimeout       = errors.New("bus: request timed out")
+	ErrNoEndpoint    = errors.New("bus: no such endpoint")
+	ErrNoQueue       = errors.New("bus: no such queue")
+	ErrRejected      = errors.New("bus: rejected by middleware")
+	ErrNoConsumers   = errors.New("bus: queue has no consumers")
+	ErrUnreachable   = errors.New("bus: destination unreachable")
+	ErrHandlerFailed = errors.New("bus: handler failed")
+)
+
+// Middleware inspects an envelope at delivery; a non-nil error rejects it.
+type Middleware func(*Envelope) error
+
+// Handler processes a request and must eventually call respond exactly once.
+type Handler func(env *Envelope, respond func(result any, err error))
+
+// Fabric is the federation-wide bus: one broker per site, connected by the
+// network. Create with NewFabric, then Register endpoints, Subscribe,
+// DeclareQueue, and exchange messages.
+type Fabric struct {
+	net     *netsim.Network
+	eng     *sim.Engine
+	metrics *telemetry.Registry
+	brokers map[netsim.SiteID]*Broker
+	nextID  uint64
+	mw      []Middleware
+
+	// pub/sub state shared across sites.
+	topicSubs   map[string][]subscriberRef
+	awaitingAck map[uint64]*sim.Event
+	deadLetters []*Envelope
+
+	// DefaultSize is the assumed payload size when an envelope has Size 0.
+	DefaultSize int
+
+	// TokenSource, when set, supplies a credential for outbound envelopes
+	// that carry none — how infrastructure traffic (discovery gossip,
+	// knowledge propagation) authenticates under zero trust without every
+	// subsystem knowing about tokens.
+	TokenSource func(from Address) any
+}
+
+// NewFabric builds a bus spanning the given network.
+func NewFabric(net *netsim.Network) *Fabric {
+	return &Fabric{
+		net:         net,
+		eng:         net.Engine(),
+		metrics:     telemetry.NewRegistry(),
+		brokers:     make(map[netsim.SiteID]*Broker),
+		DefaultSize: 256,
+	}
+}
+
+// Metrics exposes bus telemetry.
+func (f *Fabric) Metrics() *telemetry.Registry { return f.metrics }
+
+// Engine exposes the simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Use appends delivery middleware applied to every inbound envelope at its
+// destination broker, in registration order.
+func (f *Fabric) Use(m Middleware) { f.mw = append(f.mw, m) }
+
+// Broker returns (creating on demand) the broker at a site.
+func (f *Fabric) Broker(site netsim.SiteID) *Broker {
+	b, ok := f.brokers[site]
+	if !ok {
+		b = &Broker{
+			fabric:    f,
+			site:      site,
+			endpoints: make(map[string]Handler),
+			subs:      make(map[string][]subscription),
+			queues:    make(map[string]*Queue),
+		}
+		f.brokers[site] = b
+	}
+	return b
+}
+
+func (f *Fabric) id() uint64 {
+	f.nextID++
+	return f.nextID
+}
+
+// send routes an envelope over the network to the destination broker.
+// The onSendErr callback receives synchronous admission errors (link down,
+// firewall); silent loss is not reported, as on a real WAN.
+func (f *Fabric) send(env *Envelope, onSendErr func(error)) {
+	size := env.Size
+	if size == 0 {
+		size = f.DefaultSize
+	}
+	if env.Token == nil && f.TokenSource != nil {
+		env.Token = f.TokenSource(env.From)
+	}
+	msg := netsim.Message{
+		From:    env.From.Site,
+		To:      env.To.Site,
+		Service: "bus",
+		Size:    size,
+		Payload: env,
+	}
+	err := f.net.Send(msg, func(m netsim.Message) {
+		f.Broker(env.To.Site).deliver(m.Payload.(*Envelope))
+	})
+	if err != nil && onSendErr != nil {
+		onSendErr(err)
+	}
+}
+
+// Broker is the per-site message broker.
+type Broker struct {
+	fabric      *Fabric
+	site        netsim.SiteID
+	endpoints   map[string]Handler
+	subs        map[string][]subscription
+	queues      map[string]*Queue
+	pending     map[uint64]*pendingCall
+	consumerFns map[consumerKey]func(*Envelope) error
+	seenPublish map[uint64]bool
+}
+
+type subscription struct {
+	addr Address
+	qos  QoS
+	fn   func(*Envelope)
+}
+
+// Site reports which site this broker serves.
+func (b *Broker) Site() netsim.SiteID { return b.site }
+
+// Register installs an asynchronous handler for the named endpoint.
+func (b *Broker) Register(name string, h Handler) {
+	b.endpoints[name] = h
+}
+
+// RegisterFunc installs a synchronous handler that computes its reply
+// immediately. procTime > 0 models server processing latency.
+func (b *Broker) RegisterFunc(name string, procTime sim.Time, fn func(*Envelope) (any, error)) {
+	b.Register(name, func(env *Envelope, respond func(any, error)) {
+		if procTime <= 0 {
+			respond(fn(env))
+			return
+		}
+		b.fabric.eng.Schedule(procTime, func() { respond(fn(env)) })
+	})
+}
+
+// Deregister removes an endpoint (e.g. on simulated crash).
+func (b *Broker) Deregister(name string) { delete(b.endpoints, name) }
+
+// Endpoints lists registered endpoint names, sorted.
+func (b *Broker) Endpoints() []string {
+	names := make([]string, 0, len(b.endpoints))
+	for n := range b.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// deliver dispatches an inbound envelope: middleware first, then per-kind.
+func (b *Broker) deliver(env *Envelope) {
+	m := b.fabric.metrics
+	m.Counter("bus.delivered").Inc()
+	for _, mw := range b.fabric.mw {
+		if err := mw(env); err != nil {
+			m.Counter("bus.rejected").Inc()
+			if env.Kind == KindRequest {
+				// Tell the caller rather than let it time out.
+				b.reply(env, nil, fmt.Errorf("%w: %v", ErrRejected, err))
+			}
+			return
+		}
+	}
+	switch env.Kind {
+	case KindRequest:
+		h, ok := b.endpoints[env.To.Name]
+		if !ok {
+			b.reply(env, nil, fmt.Errorf("%w: %s", ErrNoEndpoint, env.To))
+			return
+		}
+		responded := false
+		h(env, func(result any, err error) {
+			if responded {
+				panic("bus: handler responded twice")
+			}
+			responded = true
+			b.reply(env, result, err)
+		})
+	case KindReply:
+		if b.pending != nil {
+			if pc, ok := b.pending[env.CorrID]; ok {
+				delete(b.pending, env.CorrID)
+				pc.complete(env.Payload, pc.errFromEnvelope(env))
+			}
+		}
+	case KindEvent:
+		for _, sub := range b.subs[env.Topic] {
+			if sub.addr == env.To {
+				sub.fn(env)
+				if sub.qos == AtLeastOnce {
+					b.sendAck(env)
+				}
+			}
+		}
+	case KindQueueMsg:
+		// Queue messages are handled broker-locally in Queue.dispatch; a
+		// remote consumer receives the message here.
+		b.handleQueueDelivery(env)
+	case KindAck, KindNack:
+		b.handleAck(env)
+	}
+}
+
+// replyErr wraps handler errors for wire transport.
+type replyErr struct{ msg string }
+
+func (b *Broker) reply(req *Envelope, result any, err error) {
+	env := &Envelope{
+		ID:     b.fabric.id(),
+		Kind:   KindReply,
+		From:   req.To,
+		To:     req.From,
+		Method: req.Method,
+		CorrID: req.CorrID,
+		Size:   b.fabric.DefaultSize,
+	}
+	if err != nil {
+		env.Payload = replyErr{msg: err.Error()}
+	} else {
+		env.Payload = result
+	}
+	b.fabric.send(env, nil)
+}
+
+type pendingCall struct {
+	cb      func(any, error)
+	timer   *sim.Event
+	done    bool
+	fabric  *Fabric
+	started sim.Time
+	retries int
+}
+
+func (pc *pendingCall) complete(result any, err error) {
+	if pc.done {
+		return
+	}
+	pc.done = true
+	if pc.timer != nil {
+		pc.fabric.eng.Cancel(pc.timer)
+	}
+	lat := (pc.fabric.eng.Now() - pc.started).Seconds()
+	pc.fabric.metrics.Histogram("bus.rpc.latency_s").Observe(lat)
+	if err != nil {
+		pc.fabric.metrics.Counter("bus.rpc.failures").Inc()
+	} else {
+		pc.fabric.metrics.Counter("bus.rpc.ok").Inc()
+	}
+	pc.cb(result, err)
+}
+
+func (pc *pendingCall) errFromEnvelope(env *Envelope) error {
+	if re, ok := env.Payload.(replyErr); ok {
+		return fmt.Errorf("%w: %s", ErrHandlerFailed, re.msg)
+	}
+	return nil
+}
+
+// CallOpts configures an RPC.
+type CallOpts struct {
+	From       Address
+	To         Address
+	Method     string
+	Payload    any
+	Token      any
+	Size       int
+	Timeout    sim.Time  // per-attempt timeout; default 1s
+	Retries    int       // additional attempts after the first
+	Alternates []Address // failover targets tried round-robin after To fails
+}
+
+// Call issues an asynchronous RPC; cb runs exactly once with the reply or a
+// terminal error. Retries and failover are transparent: each attempt gets a
+// fresh timeout, alternating through To plus Alternates.
+func (f *Fabric) Call(opts CallOpts, cb func(result any, err error)) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = sim.Second
+	}
+	m := f.metrics
+	m.Counter("bus.rpc.calls").Inc()
+
+	targets := append([]Address{opts.To}, opts.Alternates...)
+	caller := f.Broker(opts.From.Site)
+	if caller.pending == nil {
+		caller.pending = make(map[uint64]*pendingCall)
+	}
+
+	pc := &pendingCall{cb: cb, fabric: f, started: f.eng.Now()}
+
+	var attempt func(n int)
+	attempt = func(n int) {
+		if pc.done {
+			return
+		}
+		if n > opts.Retries {
+			pc.complete(nil, fmt.Errorf("%w after %d attempts: %s %s",
+				ErrTimeout, n, opts.Method, opts.To))
+			return
+		}
+		if n > 0 {
+			m.Counter("bus.rpc.retries").Inc()
+			pc.retries++
+		}
+		target := targets[n%len(targets)]
+		corr := f.id()
+		caller.pending[corr] = pc
+		env := &Envelope{
+			ID:      f.id(),
+			Kind:    KindRequest,
+			From:    opts.From,
+			To:      target,
+			Method:  opts.Method,
+			CorrID:  corr,
+			Payload: opts.Payload,
+			Token:   opts.Token,
+			Size:    opts.Size,
+			Attempt: n + 1,
+		}
+		sendFailed := false
+		f.send(env, func(error) { sendFailed = true })
+		if sendFailed {
+			// Connection refused: move to the next attempt after a short
+			// backoff rather than burning the whole timeout.
+			delete(caller.pending, corr)
+			f.eng.Schedule(opts.Timeout/4+sim.Millisecond, func() { attempt(n + 1) })
+			return
+		}
+		pc.timer = f.eng.Schedule(opts.Timeout, func() {
+			delete(caller.pending, corr)
+			attempt(n + 1)
+		})
+	}
+	attempt(0)
+}
+
+// QoS selects delivery guarantees for pub/sub.
+type QoS int
+
+// Delivery guarantee levels.
+const (
+	AtMostOnce QoS = iota
+	AtLeastOnce
+)

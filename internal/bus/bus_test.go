@@ -1,0 +1,401 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+// testFabric builds a 3-site open-firewall testbed with 10ms links.
+func testFabric(t *testing.T, link netsim.Link) (*sim.Engine, *netsim.Network, *Fabric) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, rng.New(7))
+	for _, id := range []netsim.SiteID{"ornl", "anl", "slac"} {
+		net.AddSite(id).Firewall.AllowAll()
+	}
+	net.FullMesh([]netsim.SiteID{"ornl", "anl", "slac"}, link)
+	return eng, net, NewFabric(net)
+}
+
+func addr(site, name string) Address {
+	return Address{Site: netsim.SiteID(site), Name: name}
+}
+
+func TestRPCRoundtrip(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: 10 * sim.Millisecond})
+	f.Broker("anl").RegisterFunc("echo", 0, func(env *Envelope) (any, error) {
+		return fmt.Sprintf("echo:%v", env.Payload), nil
+	})
+	var got any
+	var gotErr error
+	var at sim.Time
+	f.Call(CallOpts{
+		From: addr("ornl", "client"), To: addr("anl", "echo"),
+		Method: "echo", Payload: "hi",
+	}, func(result any, err error) { got, gotErr, at = result, err, eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got != "echo:hi" {
+		t.Fatalf("got %v", got)
+	}
+	if at != 20*sim.Millisecond {
+		t.Fatalf("roundtrip completed at %v, want 20ms", at)
+	}
+}
+
+func TestRPCHandlerError(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	f.Broker("anl").RegisterFunc("fail", 0, func(*Envelope) (any, error) {
+		return nil, errors.New("boom")
+	})
+	var gotErr error
+	f.Call(CallOpts{From: addr("ornl", "c"), To: addr("anl", "fail"), Method: "fail"},
+		func(_ any, err error) { gotErr = err })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrHandlerFailed) {
+		t.Fatalf("err = %v, want ErrHandlerFailed", gotErr)
+	}
+}
+
+func TestRPCNoEndpoint(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	var gotErr error
+	f.Call(CallOpts{From: addr("ornl", "c"), To: addr("anl", "ghost"), Method: "x"},
+		func(_ any, err error) { gotErr = err })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrHandlerFailed) {
+		t.Fatalf("err = %v, want wrapped no-endpoint failure", gotErr)
+	}
+}
+
+func TestRPCTimeoutOnDeadLink(t *testing.T) {
+	eng, net, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	f.Broker("anl").RegisterFunc("m", 0, func(*Envelope) (any, error) { return 1, nil })
+	net.SetLinkUp("ornl", "anl", false)
+	var gotErr error
+	f.Call(CallOpts{
+		From: addr("ornl", "c"), To: addr("anl", "m"), Method: "m",
+		Timeout: 100 * sim.Millisecond, Retries: 2,
+	}, func(_ any, err error) { gotErr = err })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", gotErr)
+	}
+}
+
+func TestRPCRetriesRecoverFromLoss(t *testing.T) {
+	// 40% loss each way => per-attempt success 0.36; 10 retries gives
+	// ~99.3% call success.
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond, Loss: 0.4})
+	f.Broker("anl").RegisterFunc("m", 0, func(*Envelope) (any, error) { return "ok", nil })
+	success := 0
+	const calls = 50
+	for i := 0; i < calls; i++ {
+		f.Call(CallOpts{
+			From: addr("ornl", "c"), To: addr("anl", "m"), Method: "m",
+			Timeout: 50 * sim.Millisecond, Retries: 10,
+		}, func(result any, err error) {
+			if err == nil && result == "ok" {
+				success++
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if success < calls*9/10 {
+		t.Fatalf("only %d/%d calls recovered via retries", success, calls)
+	}
+	if f.Metrics().Counter("bus.rpc.retries").Value() == 0 {
+		t.Fatal("expected retries to be recorded")
+	}
+}
+
+func TestRPCFailover(t *testing.T) {
+	eng, net, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	f.Broker("anl").RegisterFunc("svc", 0, func(*Envelope) (any, error) { return "primary", nil })
+	f.Broker("slac").RegisterFunc("svc", 0, func(*Envelope) (any, error) { return "backup", nil })
+	net.SetLinkUp("ornl", "anl", false) // primary unreachable
+
+	var got any
+	f.Call(CallOpts{
+		From: addr("ornl", "c"), To: addr("anl", "svc"), Method: "svc",
+		Timeout: 100 * sim.Millisecond, Retries: 3,
+		Alternates: []Address{addr("slac", "svc")},
+	}, func(result any, err error) {
+		if err != nil {
+			t.Errorf("failover call failed: %v", err)
+		}
+		got = result
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "backup" {
+		t.Fatalf("got %v, want backup", got)
+	}
+}
+
+func TestRPCServerProcessingTime(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: 10 * sim.Millisecond})
+	f.Broker("anl").RegisterFunc("slow", 30*sim.Millisecond, func(*Envelope) (any, error) { return 1, nil })
+	var at sim.Time
+	f.Call(CallOpts{From: addr("ornl", "c"), To: addr("anl", "slow"), Method: "slow", Timeout: sim.Second},
+		func(any, error) { at = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 50*sim.Millisecond {
+		t.Fatalf("completed at %v, want 50ms (10+30+10)", at)
+	}
+}
+
+func TestMiddlewareRejection(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	f.Use(func(env *Envelope) error {
+		if env.Token != "valid" && env.Kind == KindRequest {
+			return errors.New("no token")
+		}
+		return nil
+	})
+	f.Broker("anl").RegisterFunc("m", 0, func(*Envelope) (any, error) { return 1, nil })
+
+	var err1, err2 error
+	f.Call(CallOpts{From: addr("ornl", "c"), To: addr("anl", "m"), Method: "m", Token: "valid"},
+		func(_ any, err error) { err1 = err })
+	f.Call(CallOpts{From: addr("ornl", "c"), To: addr("anl", "m"), Method: "m", Token: "bogus"},
+		func(_ any, err error) { err2 = err })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err1 != nil {
+		t.Fatalf("authorized call failed: %v", err1)
+	}
+	if err2 == nil {
+		t.Fatal("unauthorized call succeeded")
+	}
+}
+
+func TestPubSubAtMostOnce(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	var got []any
+	f.Subscribe(addr("anl", "sub1"), "alerts", AtMostOnce, func(env *Envelope) {
+		got = append(got, env.Payload)
+	})
+	f.Subscribe(addr("slac", "sub2"), "alerts", AtMostOnce, func(env *Envelope) {
+		got = append(got, env.Payload)
+	})
+	f.Publish(PublishOpts{From: addr("ornl", "pub"), Topic: "alerts", Payload: "anomaly"})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered to %d subscribers, want 2", len(got))
+	}
+}
+
+func TestPubSubAtLeastOnceRecoversLoss(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond, Loss: 0.5})
+	delivered := 0
+	f.Subscribe(addr("anl", "sub"), "data", AtLeastOnce, func(*Envelope) { delivered++ })
+	const events = 40
+	for i := 0; i < events; i++ {
+		f.Publish(PublishOpts{
+			From: addr("ornl", "pub"), Topic: "data", Payload: i,
+			QoS: AtLeastOnce, AckTimeout: 50 * sim.Millisecond, MaxAttempts: 10,
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered < events {
+		t.Fatalf("delivered %d < published %d despite at-least-once", delivered, events)
+	}
+	if f.Metrics().Counter("bus.pub.redelivered").Value() == 0 {
+		t.Fatal("expected redeliveries on a 50%-loss link")
+	}
+}
+
+func TestPubSubDeadLetter(t *testing.T) {
+	eng, net, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	f.Subscribe(addr("anl", "sub"), "t", AtLeastOnce, func(*Envelope) {})
+	net.SetLinkUp("ornl", "anl", false)
+	f.Publish(PublishOpts{
+		From: addr("ornl", "pub"), Topic: "t", Payload: "x",
+		QoS: AtLeastOnce, AckTimeout: 10 * sim.Millisecond, MaxAttempts: 3,
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DeadLetters()) != 1 {
+		t.Fatalf("dead letters = %d, want 1", len(f.DeadLetters()))
+	}
+	if got := f.Metrics().Counter("bus.pub.dlq").Value(); got != 1 {
+		t.Fatalf("dlq counter = %d", got)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	n := 0
+	a := addr("anl", "sub")
+	f.Subscribe(a, "t", AtMostOnce, func(*Envelope) { n++ })
+	f.Publish(PublishOpts{From: addr("ornl", "p"), Topic: "t", Payload: 1})
+	eng.Schedule(sim.Second, func() {
+		f.Unsubscribe(a, "t")
+		f.Publish(PublishOpts{From: addr("ornl", "p"), Topic: "t", Payload: 2})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("received %d events, want 1", n)
+	}
+}
+
+func TestQueueCompetingConsumers(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	q := f.DeclareQueue(addr("ornl", ""), "jobs")
+	var c1, c2 int
+	q.Consume(addr("anl", "w1"), func(*Envelope) error { c1++; return nil })
+	q.Consume(addr("slac", "w2"), func(*Envelope) error { c2++; return nil })
+	for i := 0; i < 10; i++ {
+		if err := f.Enqueue(addr("ornl", "producer"), addr("ornl", ""), "jobs", i, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c1+c2 != 10 {
+		t.Fatalf("consumed %d+%d, want 10 total", c1, c2)
+	}
+	if c1 == 0 || c2 == 0 {
+		t.Fatalf("work not shared: c1=%d c2=%d", c1, c2)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("queue depth %d after drain", q.Depth())
+	}
+}
+
+func TestQueueNackRedelivers(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	q := f.DeclareQueue(addr("ornl", ""), "jobs")
+	attempts := 0
+	q.Consume(addr("anl", "w"), func(*Envelope) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err := f.Enqueue(addr("ornl", "p"), addr("ornl", ""), "jobs", "task", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if len(q.DeadLetters()) != 0 {
+		t.Fatal("message dead-lettered despite eventual success")
+	}
+}
+
+func TestQueueDeadLetterAfterMaxAttempts(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	q := f.DeclareQueue(addr("ornl", ""), "jobs")
+	q.MaxAttempts = 3
+	fails := 0
+	q.Consume(addr("anl", "w"), func(*Envelope) error { fails++; return errors.New("always") })
+	if err := f.Enqueue(addr("ornl", "p"), addr("ornl", ""), "jobs", "poison", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fails != 3 {
+		t.Fatalf("delivery attempts = %d, want 3", fails)
+	}
+	if len(q.DeadLetters()) != 1 {
+		t.Fatalf("dead letters = %d, want 1", len(q.DeadLetters()))
+	}
+}
+
+func TestQueueBacklogDrainsWhenConsumerJoins(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	f.DeclareQueue(addr("ornl", ""), "jobs")
+	for i := 0; i < 5; i++ {
+		if err := f.Enqueue(addr("ornl", "p"), addr("ornl", ""), "jobs", i, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	eng.Schedule(sim.Second, func() {
+		q := f.Queue(addr("ornl", ""), "jobs")
+		q.Consume(addr("anl", "late"), func(*Envelope) error { got++; return nil })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("late consumer got %d, want 5", got)
+	}
+}
+
+func TestEnqueueUnknownQueue(t *testing.T) {
+	_, _, f := testFabric(t, netsim.Link{Latency: sim.Millisecond})
+	err := f.Enqueue(addr("ornl", "p"), addr("ornl", ""), "ghost", 1, 1)
+	if !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("err = %v, want ErrNoQueue", err)
+	}
+}
+
+func TestEndpointsSorted(t *testing.T) {
+	_, _, f := testFabric(t, netsim.Link{})
+	b := f.Broker("ornl")
+	b.RegisterFunc("zz", 0, func(*Envelope) (any, error) { return nil, nil })
+	b.RegisterFunc("aa", 0, func(*Envelope) (any, error) { return nil, nil })
+	eps := b.Endpoints()
+	if len(eps) != 2 || eps[0] != "aa" {
+		t.Fatalf("Endpoints() = %v", eps)
+	}
+	b.Deregister("aa")
+	if len(b.Endpoints()) != 1 {
+		t.Fatal("Deregister failed")
+	}
+}
+
+func TestRPCLatencyMetricRecorded(t *testing.T) {
+	eng, _, f := testFabric(t, netsim.Link{Latency: 5 * sim.Millisecond})
+	f.Broker("anl").RegisterFunc("m", 0, func(*Envelope) (any, error) { return 1, nil })
+	for i := 0; i < 10; i++ {
+		f.Call(CallOpts{From: addr("ornl", "c"), To: addr("anl", "m"), Method: "m"}, func(any, error) {})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := f.Metrics().Histogram("bus.rpc.latency_s")
+	if h.Count() != 10 {
+		t.Fatalf("latency observations = %d", h.Count())
+	}
+	if h.Mean() < 0.009 || h.Mean() > 0.02 {
+		t.Fatalf("mean rpc latency = %v s, want ~0.01", h.Mean())
+	}
+}

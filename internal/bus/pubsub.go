@@ -1,0 +1,146 @@
+package bus
+
+import (
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+// Subscribe registers fn to receive events published on topic, delivered to
+// addr's site. With AtLeastOnce QoS the subscriber's broker acknowledges
+// each event and the publisher redelivers unacknowledged events.
+func (f *Fabric) Subscribe(addr Address, topic string, qos QoS, fn func(*Envelope)) {
+	b := f.Broker(addr.Site)
+	b.subs[topic] = append(b.subs[topic], subscription{addr: addr, qos: qos, fn: fn})
+	f.subscribers(topic) // touch global index
+	f.topicSubs[topic] = append(f.topicSubs[topic], subscriberRef{addr: addr, qos: qos})
+}
+
+// Unsubscribe removes every subscription of addr on topic.
+func (f *Fabric) Unsubscribe(addr Address, topic string) {
+	b := f.Broker(addr.Site)
+	var keep []subscription
+	for _, s := range b.subs[topic] {
+		if s.addr != addr {
+			keep = append(keep, s)
+		}
+	}
+	b.subs[topic] = keep
+	var keepRefs []subscriberRef
+	for _, r := range f.topicSubs[topic] {
+		if r.addr != addr {
+			keepRefs = append(keepRefs, r)
+		}
+	}
+	f.topicSubs[topic] = keepRefs
+}
+
+type subscriberRef struct {
+	addr Address
+	qos  QoS
+}
+
+func (f *Fabric) subscribers(topic string) []subscriberRef {
+	if f.topicSubs == nil {
+		f.topicSubs = make(map[string][]subscriberRef)
+	}
+	return f.topicSubs[topic]
+}
+
+// PublishOpts configures one publication.
+type PublishOpts struct {
+	From        Address
+	Topic       string
+	Payload     any
+	Token       any
+	Size        int
+	QoS         QoS
+	AckTimeout  sim.Time // redelivery timer for AtLeastOnce; default 2s
+	MaxAttempts int      // total delivery attempts before DLQ; default 4
+}
+
+// Publish fans the event out to every subscriber of the topic. With
+// AtLeastOnce it tracks per-subscriber acknowledgements, redelivers on
+// timeout, and dead-letters after MaxAttempts.
+func (f *Fabric) Publish(opts PublishOpts) {
+	if opts.AckTimeout <= 0 {
+		opts.AckTimeout = 2 * sim.Second
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	f.metrics.Counter("bus.pub.published").Inc()
+	for _, ref := range f.subscribers(opts.Topic) {
+		f.deliverEvent(opts, ref, 1)
+	}
+}
+
+func (f *Fabric) deliverEvent(opts PublishOpts, ref subscriberRef, attempt int) {
+	env := &Envelope{
+		ID:      f.id(),
+		Kind:    KindEvent,
+		From:    opts.From,
+		To:      ref.addr,
+		Topic:   opts.Topic,
+		Payload: opts.Payload,
+		Token:   opts.Token,
+		Size:    opts.Size,
+		Attempt: attempt,
+	}
+	if ref.qos == AtMostOnce {
+		f.send(env, nil)
+		f.metrics.Counter("bus.pub.sent").Inc()
+		return
+	}
+	// AtLeastOnce: remember the delivery and arm the redelivery timer.
+	if f.awaitingAck == nil {
+		f.awaitingAck = make(map[uint64]*sim.Event)
+	}
+	f.metrics.Counter("bus.pub.sent").Inc()
+	env.CorrID = env.ID
+	f.send(env, nil)
+	timer := f.eng.Schedule(opts.AckTimeout, func() {
+		delete(f.awaitingAck, env.CorrID)
+		if attempt >= opts.MaxAttempts {
+			f.metrics.Counter("bus.pub.dlq").Inc()
+			f.deadLetters = append(f.deadLetters, env)
+			return
+		}
+		f.metrics.Counter("bus.pub.redelivered").Inc()
+		f.deliverEvent(opts, ref, attempt+1)
+	})
+	f.awaitingAck[env.CorrID] = timer
+}
+
+// sendAck confirms an at-least-once event back to the publishing fabric.
+// In this in-process model the ack travels the reverse network path so its
+// latency and loss are realistic.
+func (b *Broker) sendAck(env *Envelope) {
+	ack := &Envelope{
+		ID:     b.fabric.id(),
+		Kind:   KindAck,
+		From:   env.To,
+		To:     env.From,
+		CorrID: env.CorrID,
+		Size:   64,
+	}
+	b.fabric.send(ack, nil)
+}
+
+func (b *Broker) handleAck(env *Envelope) {
+	f := b.fabric
+	switch env.Kind {
+	case KindAck:
+		if t, ok := f.awaitingAck[env.CorrID]; ok {
+			f.eng.Cancel(t)
+			delete(f.awaitingAck, env.CorrID)
+			f.metrics.Counter("bus.pub.acked").Inc()
+			return
+		}
+		// Queue consumer ack.
+		b.queueAck(env, true)
+	case KindNack:
+		b.queueAck(env, false)
+	}
+}
+
+// DeadLetters returns envelopes that exhausted redelivery, in arrival order.
+func (f *Fabric) DeadLetters() []*Envelope { return f.deadLetters }

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aisle-sim/aisle/internal/fabric"
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/llm"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/optimize"
+	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+// Orchestration selects who turns optimizer candidates into instrument
+// commands — the experiment axis of milestone M8.
+type Orchestration int
+
+// Orchestration modes.
+const (
+	// OrchManual is the human baseline: slow, working-hours bound.
+	OrchManual Orchestration = iota
+	// OrchAgent is an LLM agent without verification tools.
+	OrchAgent
+	// OrchAgentVerified is an LLM agent with digital-twin verification.
+	OrchAgentVerified
+)
+
+// String renders the mode.
+func (o Orchestration) String() string {
+	return [...]string{"manual", "agent", "agent+verify"}[o]
+}
+
+// CampaignConfig describes one closed-loop discovery campaign.
+type CampaignConfig struct {
+	Name   string
+	Site   netsim.SiteID
+	Model  twin.Model
+	Budget int // experiments to execute (excluding knowledge-base hits)
+	// Target stops the campaign early once the best measured objective
+	// reaches it (0 disables).
+	Target float64
+	// Mode selects the orchestrator.
+	Mode Orchestration
+	// SynthKind is the instrument kind performing experiments.
+	SynthKind string
+	// CharacterizeKind optionally adds a characterization step per
+	// experiment ("" disables).
+	CharacterizeKind string
+	// UseKnowledge seeds the optimizer from the site's knowledge base,
+	// skips points already measured anywhere in the federation, and
+	// publishes results back.
+	UseKnowledge bool
+	// SeedLabel decorrelates replicas.
+	SeedLabel string
+	// MaxFailuresPerPoint bounds instrument-failure retries. Default 2.
+	MaxFailuresPerPoint int
+	// InstrumentTimeout bounds one instrument call. Default 48h.
+	InstrumentTimeout sim.Time
+}
+
+// CampaignReport is the outcome of one campaign.
+type CampaignReport struct {
+	Name      string
+	Mode      Orchestration
+	Executed  int // experiments run on instruments
+	Reused    int // knowledge-base hits that avoided an experiment
+	Failures  int // instrument failures encountered
+	BestValue float64
+	BestPoint param.Point
+
+	Started  sim.Time
+	Finished sim.Time
+
+	DecisionTime   sim.Time // total orchestration latency
+	InstrumentTime sim.Time // total time waiting on instruments
+
+	Correct   int // emitted command matched planner intent
+	Incorrect int
+	Repaired  int // verification repairs
+
+	Traces    int
+	Approvals int // scientist approvals of reasoning traces
+
+	Err error
+}
+
+// Makespan is the campaign's total virtual duration.
+func (r *CampaignReport) Makespan() sim.Time { return r.Finished - r.Started }
+
+// Correctness is the fraction of executed experiments whose command matched
+// intent (M8's "experimental correctness").
+func (r *CampaignReport) Correctness() float64 {
+	total := r.Correct + r.Incorrect
+	if total == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(total)
+}
+
+// ApprovalRate is the scientist trace-approval fraction (M9).
+func (r *CampaignReport) ApprovalRate() float64 {
+	if r.Traces == 0 {
+		return 1
+	}
+	return float64(r.Approvals) / float64(r.Traces)
+}
+
+// ErrNoInstrument is reported when discovery finds no instrument of the
+// campaign's kind.
+var ErrNoInstrument = errors.New("core: no instrument available")
+
+// RunCampaign executes the closed loop asynchronously; cb receives the
+// final report. Drive the engine (n.Eng.Run or RunUntil) to make progress.
+func (n *Network) RunCampaign(cfg CampaignConfig, cb func(*CampaignReport)) {
+	if cfg.MaxFailuresPerPoint == 0 {
+		cfg.MaxFailuresPerPoint = 2
+	}
+	if cfg.InstrumentTimeout == 0 {
+		cfg.InstrumentTimeout = 48 * sim.Hour
+	}
+	site := n.Site(cfg.Site)
+	if site == nil {
+		cb(&CampaignReport{Name: cfg.Name, Err: fmt.Errorf("core: unknown site %q", cfg.Site)})
+		return
+	}
+
+	c := &campaign{
+		n:    n,
+		cfg:  cfg,
+		site: site,
+		rep: &CampaignReport{
+			Name: cfg.Name, Mode: cfg.Mode, Started: n.Eng.Now(),
+			BestValue: -1e300,
+		},
+		cb:  cb,
+		rnd: n.Rnd.Fork("campaign/" + cfg.Name + "/" + cfg.SeedLabel),
+	}
+	c.opt = optimize.NewBayes(cfg.Model.Space(), c.rnd.Fork("opt"), optimize.BayesOpts{})
+	c.approver = llm.NewApprovalModel(c.rnd.Fork("review"))
+
+	tw := twin.NewTwin(cfg.Model, twin.Noise{})
+	switch cfg.Mode {
+	case OrchManual:
+		c.human = llm.NewHuman(c.rnd.Fork("human"))
+	case OrchAgent:
+		c.agent = llm.NewOrchestrator(c.rnd.Fork("agent"), nil)
+	case OrchAgentVerified:
+		c.agent = llm.NewOrchestrator(c.rnd.Fork("agent"), tw)
+	}
+
+	// Transfer learning: prior observations inform the surrogate, but the
+	// campaign's reported best still requires a locally confirmed (or
+	// reused) measurement.
+	if cfg.UseKnowledge {
+		pts, vals := site.Knowledge.Observations(cfg.Model.Name())
+		if len(pts) > 0 {
+			c.opt.Seed(pts, vals, 0.7)
+		}
+	}
+
+	// Provenance: the campaign is an agent acting for the site.
+	n.Mesh.Prov.AddAgent("campaign:"+cfg.Name, map[string]string{"site": string(cfg.Site)})
+
+	c.step()
+}
+
+type campaign struct {
+	n        *Network
+	cfg      CampaignConfig
+	site     *Site
+	rep      *CampaignReport
+	cb       func(*CampaignReport)
+	rnd      *rng.Stream
+	opt      *optimize.Bayes
+	agent    *llm.Orchestrator
+	human    *llm.Human
+	approver *llm.ApprovalModel
+
+	reuseStreak int
+}
+
+// step runs one loop iteration: ask -> (maybe reuse) -> decide -> execute.
+func (c *campaign) step() {
+	if c.rep.Executed >= c.cfg.Budget {
+		c.finish(nil)
+		return
+	}
+	if c.cfg.Target > 0 && c.rep.BestValue >= c.cfg.Target {
+		c.finish(nil)
+		return
+	}
+
+	intended := c.opt.Ask()
+
+	// Knowledge reuse: skip experiments the federation already ran.
+	if c.cfg.UseKnowledge {
+		if v, ok := c.site.Knowledge.HasObservation(c.cfg.Model.Name(), intended); ok && c.reuseStreak < 5 {
+			c.rep.Reused++
+			c.reuseStreak++
+			c.opt.Tell(intended, v)
+			if v > c.rep.BestValue {
+				c.rep.BestValue = v
+				c.rep.BestPoint = intended.Clone()
+			}
+			// A reuse costs a catalog lookup, not an experiment.
+			c.n.Eng.Schedule(30*sim.Second, c.step)
+			return
+		}
+	}
+	c.reuseStreak = 0
+
+	// Orchestration decision.
+	var prop llm.Proposal
+	goal := fmt.Sprintf("maximize %s of %s", c.cfg.Model.Objective(), c.cfg.Model.Name())
+	if c.human != nil {
+		prop = c.human.Propose(intended, c.cfg.Model.Space(), c.n.Eng.Now(), goal)
+	} else {
+		prop = c.agent.Propose(intended, c.cfg.Model.Space(), goal)
+	}
+	c.rep.DecisionTime += prop.Latency
+	if prop.Repaired {
+		c.rep.Repaired++
+	}
+	c.rep.Traces++
+	if c.approver.Approves(prop.Trace) {
+		c.rep.Approvals++
+	}
+
+	c.n.Eng.Schedule(prop.Latency, func() { c.execute(prop, 0) })
+}
+
+// execute runs the emitted command on a negotiated instrument.
+func (c *campaign) execute(prop llm.Proposal, failures int) {
+	rec, ok := c.site.FindInstrument(c.cfg.SynthKind, nil, "throughput_per_hr")
+	if !ok {
+		c.finish(fmt.Errorf("%w: kind %s at %s", ErrNoInstrument, c.cfg.SynthKind, c.cfg.Site))
+		return
+	}
+	cmd := instrument.Command{
+		Action:   "synthesize",
+		Params:   prop.Emitted,
+		SampleID: fmt.Sprintf("%s-%04d", c.cfg.Name, c.rep.Executed),
+	}
+	started := c.n.Eng.Now()
+	c.site.RunInstrument(rec, cmd, c.cfg.InstrumentTimeout, func(res instrument.Result, err error) {
+		c.rep.InstrumentTime += c.n.Eng.Now() - started
+		if err != nil {
+			c.rep.Failures++
+			if failures+1 <= c.cfg.MaxFailuresPerPoint {
+				// Fault tolerance: retry the same command (possibly landing
+				// on another instrument after renegotiation).
+				c.execute(prop, failures+1)
+				return
+			}
+			// Give up on this point; move on.
+			c.n.Eng.Schedule(0, c.step)
+			return
+		}
+		c.ingest(prop, res)
+	})
+}
+
+// ingest scores correctness, characterizes if configured, feeds the
+// optimizer and knowledge base, and records provenance.
+func (c *campaign) ingest(prop llm.Proposal, res instrument.Result) {
+	c.rep.Executed++
+	if prop.Correct() {
+		c.rep.Correct++
+	} else {
+		c.rep.Incorrect++
+	}
+
+	obj := c.cfg.Model.Objective()
+	value := res.Values[obj]
+	// The optimizer is told the planner's intent; when a defect slipped
+	// through, the label is wrong — exactly the failure mode the paper's
+	// verification milestone exists to prevent.
+	c.opt.Tell(prop.Intended, value)
+	if value > c.rep.BestValue {
+		c.rep.BestValue = value
+		c.rep.BestPoint = prop.Emitted.Clone()
+	}
+
+	if c.cfg.UseKnowledge {
+		c.site.Knowledge.AddObservation(c.cfg.Model.Name(), prop.Emitted, value)
+	}
+
+	// Provenance + dataset record for this experiment.
+	prov := c.n.Mesh.Prov
+	entID := prov.AddEntity(fmt.Sprintf("result:%s", res.SampleID), map[string]string{
+		"objective": fmt.Sprintf("%.4f", value),
+	})
+	actID := prov.AddActivity("experiment:"+res.SampleID, res.Started, res.Finished)
+	prov.WasGeneratedBy(entID, actID)
+	prov.WasAssociatedWith(actID, fabric.AgentID("campaign:"+c.cfg.Name))
+
+	// Characterization hop (cross-facility when the instrument lives
+	// elsewhere).
+	if c.cfg.CharacterizeKind != "" {
+		rec, ok := c.site.FindInstrument(c.cfg.CharacterizeKind, nil, "throughput_per_hr")
+		if ok {
+			started := c.n.Eng.Now()
+			cmd := instrument.Command{
+				Action:   charActionFor(c.cfg.CharacterizeKind),
+				Params:   param.Point{"scan_resolution": 1, "exposure_s": 60},
+				SampleID: res.SampleID,
+			}
+			c.site.RunInstrument(rec, cmd, c.cfg.InstrumentTimeout, func(instrument.Result, error) {
+				c.rep.InstrumentTime += c.n.Eng.Now() - started
+				c.n.Eng.Schedule(0, c.step)
+			})
+			return
+		}
+	}
+	c.n.Eng.Schedule(0, c.step)
+}
+
+func charActionFor(kind string) string {
+	switch kind {
+	case instrument.KindXRD:
+		return "scan"
+	case instrument.KindTEM:
+		return "image"
+	case instrument.KindSpectrometer:
+		return "spectrum"
+	default:
+		return "scan"
+	}
+}
+
+func (c *campaign) finish(err error) {
+	c.rep.Finished = c.n.Eng.Now()
+	c.rep.Err = err
+	c.n.Metrics.Counter("core.campaigns").Inc()
+	c.cb(c.rep)
+}

@@ -1,0 +1,374 @@
+// Package discovery implements AISLE's self-discovering agent network
+// (milestone M12): a DNS-SD-style federated service registry in which every
+// site runs a registry, services register records with TTL-bounded leases,
+// and registries converge through periodic anti-entropy gossip over the bus.
+// Capability descriptors on each record support the negotiation step the
+// paper calls for — agents pick instruments by required capability rather
+// than by hard-coded address.
+//
+// The design tolerates the failures the roadmap worries about: a partition
+// stalls convergence only for the separated groups, leases expire when an
+// owner dies, and the directory re-converges after topology changes without
+// central coordination.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// Record is one advertised service instance. Instance names are globally
+// unique ("ornl/xrd-1"); Type groups interchangeable services
+// ("_xrd._aisle"). Capabilities hold numeric capability levels used in
+// negotiation; Text holds descriptive metadata (vendor, model, units).
+type Record struct {
+	Instance     string
+	Type         string
+	Addr         bus.Address
+	Capabilities map[string]float64
+	Text         map[string]string
+
+	// Lease management.
+	TTL       sim.Time
+	Version   uint64
+	Deleted   bool
+	Origin    netsim.SiteID
+	UpdatedAt sim.Time // local registry clock when last merged
+	ExpiresAt sim.Time
+}
+
+func (r *Record) clone() *Record {
+	c := *r
+	c.Capabilities = make(map[string]float64, len(r.Capabilities))
+	for k, v := range r.Capabilities {
+		c.Capabilities[k] = v
+	}
+	c.Text = make(map[string]string, len(r.Text))
+	for k, v := range r.Text {
+		c.Text[k] = v
+	}
+	return &c
+}
+
+// Registry is one site's view of the federated directory.
+type Registry struct {
+	site    netsim.SiteID
+	dir     *Directory
+	records map[string]*Record
+}
+
+// Directory wires the per-site registries together with gossip.
+type Directory struct {
+	fabric     *bus.Fabric
+	eng        *sim.Engine
+	metrics    *telemetry.Registry
+	registries map[netsim.SiteID]*Registry
+	sites      []netsim.SiteID
+
+	// GossipInterval controls anti-entropy frequency. Default 2s.
+	GossipInterval sim.Time
+	// DefaultTTL applies to records registered without one. Default 30s.
+	DefaultTTL sim.Time
+
+	stops []func()
+}
+
+// NewDirectory creates registries for the given sites and starts gossip.
+func NewDirectory(fabric *bus.Fabric, sites []netsim.SiteID) *Directory {
+	d := &Directory{
+		fabric:         fabric,
+		eng:            fabric.Engine(),
+		metrics:        telemetry.NewRegistry(),
+		registries:     make(map[netsim.SiteID]*Registry),
+		sites:          append([]netsim.SiteID(nil), sites...),
+		GossipInterval: 2 * sim.Second,
+		DefaultTTL:     30 * sim.Second,
+	}
+	for _, s := range sites {
+		d.registries[s] = &Registry{site: s, dir: d, records: make(map[string]*Record)}
+	}
+	for _, s := range sites {
+		s := s
+		fabric.Broker(s).RegisterFunc("discovery.sync", 0, func(env *bus.Envelope) (any, error) {
+			return d.registries[s].handleSync(env.Payload.([]*Record)), nil
+		})
+	}
+	return d
+}
+
+// Metrics exposes discovery telemetry.
+func (d *Directory) Metrics() *telemetry.Registry { return d.metrics }
+
+// Registry returns the registry hosted at site.
+func (d *Directory) Registry(site netsim.SiteID) *Registry { return d.registries[site] }
+
+// Start launches the gossip tickers. Call once after topology is built.
+func (d *Directory) Start() {
+	for _, s := range d.sites {
+		reg := d.registries[s]
+		stop := d.eng.Ticker(d.GossipInterval, func(int) { reg.gossipRound() })
+		d.stops = append(d.stops, stop)
+	}
+}
+
+// Stop cancels gossip (ends the simulation cleanly).
+func (d *Directory) Stop() {
+	for _, s := range d.stops {
+		s()
+	}
+	d.stops = nil
+}
+
+// Register advertises a record at its origin site's registry. The caller's
+// record is copied; subsequent mutations have no effect. Registration bumps
+// the version so gossip propagates the update.
+func (r *Registry) Register(rec Record) {
+	if rec.TTL <= 0 {
+		rec.TTL = r.dir.DefaultTTL
+	}
+	rec.Origin = r.site
+	existing := r.records[rec.Instance]
+	if existing != nil {
+		rec.Version = existing.Version + 1
+	} else {
+		rec.Version = 1
+	}
+	rec.UpdatedAt = r.dir.eng.Now()
+	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
+	r.records[rec.Instance] = rec.clone()
+	r.dir.metrics.Counter("discovery.registrations").Inc()
+}
+
+// Renew extends the lease on an instance owned by this registry, bumping
+// its version so remote registries learn the new expiry. It reports whether
+// the instance was found and owned here.
+func (r *Registry) Renew(instance string) bool {
+	rec, ok := r.records[instance]
+	if !ok || rec.Origin != r.site || rec.Deleted {
+		return false
+	}
+	rec.Version++
+	rec.UpdatedAt = r.dir.eng.Now()
+	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
+	return true
+}
+
+// Deregister tombstones an instance owned by this registry.
+func (r *Registry) Deregister(instance string) bool {
+	rec, ok := r.records[instance]
+	if !ok || rec.Origin != r.site {
+		return false
+	}
+	rec.Deleted = true
+	rec.Version++
+	rec.UpdatedAt = r.dir.eng.Now()
+	// Tombstones linger one TTL so gossip can spread them.
+	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
+	return true
+}
+
+// expire drops records whose lease lapsed. Tombstones and foreign records
+// both expire; owners keep their live records fresh via Renew.
+func (r *Registry) expire() {
+	now := r.dir.eng.Now()
+	for name, rec := range r.records {
+		if now >= rec.ExpiresAt && !(rec.Origin == r.site && !rec.Deleted) {
+			delete(r.records, name)
+			r.dir.metrics.Counter("discovery.expirations").Inc()
+		}
+	}
+}
+
+// Browse lists live records of the given type, sorted by instance name.
+func (r *Registry) Browse(serviceType string) []Record {
+	r.expire()
+	var out []Record
+	for _, rec := range r.records {
+		if rec.Type == serviceType && !rec.Deleted {
+			out = append(out, *rec.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// Resolve fetches a single instance by name.
+func (r *Registry) Resolve(instance string) (Record, bool) {
+	r.expire()
+	rec, ok := r.records[instance]
+	if !ok || rec.Deleted {
+		return Record{}, false
+	}
+	return *rec.clone(), true
+}
+
+// Live reports the number of live (non-tombstone) records.
+func (r *Registry) Live() int {
+	r.expire()
+	n := 0
+	for _, rec := range r.records {
+		if !rec.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot exports all records (including tombstones) for gossip.
+func (r *Registry) snapshot() []*Record {
+	out := make([]*Record, 0, len(r.records))
+	for _, rec := range r.records {
+		out = append(out, rec.clone())
+	}
+	return out
+}
+
+// merge folds remote records in, keeping the higher (origin, version) wins.
+// Hearing an unchanged record again refreshes its lease, so steady gossip
+// keeps live records alive without explicit renewal traffic.
+func (r *Registry) merge(in []*Record) int {
+	changed := 0
+	now := r.dir.eng.Now()
+	for _, rec := range in {
+		cur, ok := r.records[rec.Instance]
+		if ok && cur.Version > rec.Version {
+			continue
+		}
+		if ok && cur.Version == rec.Version && !rec.Deleted {
+			cur.ExpiresAt = now + cur.TTL
+			continue
+		}
+		c := rec.clone()
+		c.UpdatedAt = now
+		// Foreign lease clock restarts locally: a record is trusted for one
+		// TTL from the moment we learned of it.
+		c.ExpiresAt = now + c.TTL
+		r.records[rec.Instance] = c
+		changed++
+	}
+	if changed > 0 {
+		r.dir.metrics.Counter("discovery.merged_records").Add(int64(changed))
+	}
+	return changed
+}
+
+// handleSync is the pull-push RPC body: merge the caller's snapshot and
+// return ours.
+func (r *Registry) handleSync(in []*Record) []*Record {
+	r.expire()
+	r.merge(in)
+	return r.snapshot()
+}
+
+// gossipRound pushes this registry's snapshot to every peer and merges each
+// reply (push-pull anti-entropy). Unreachable peers are skipped silently;
+// convergence resumes when links heal.
+func (r *Registry) gossipRound() {
+	r.expire()
+	snap := r.snapshot()
+	for _, peer := range r.dir.sites {
+		if peer == r.site {
+			continue
+		}
+		peer := peer
+		r.dir.metrics.Counter("discovery.gossip_rounds").Inc()
+		r.dir.fabric.Call(bus.CallOpts{
+			From:    bus.Address{Site: r.site, Name: "discovery"},
+			To:      bus.Address{Site: peer, Name: "discovery.sync"},
+			Method:  "discovery.sync",
+			Payload: snap,
+			Timeout: r.dir.GossipInterval,
+		}, func(result any, err error) {
+			if err != nil {
+				r.dir.metrics.Counter("discovery.gossip_failures").Inc()
+				return
+			}
+			r.merge(result.([]*Record))
+		})
+	}
+}
+
+// Converged reports whether every registry holds an identical set of live
+// records (instance -> version).
+func (d *Directory) Converged() bool {
+	var ref map[string]uint64
+	for _, s := range d.sites {
+		reg := d.registries[s]
+		reg.expire()
+		view := make(map[string]uint64)
+		for name, rec := range reg.records {
+			if !rec.Deleted {
+				view[name] = rec.Version
+			}
+		}
+		if ref == nil {
+			ref = view
+			continue
+		}
+		if len(ref) != len(view) {
+			return false
+		}
+		for k, v := range ref {
+			if view[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Requirement describes what a consumer needs from a service during
+// capability negotiation.
+type Requirement struct {
+	Type    string
+	MinCaps map[string]float64 // each capability must be >= the floor
+	Prefer  string             // capability to maximize among qualifiers
+}
+
+// Negotiate selects the best qualifying instance visible from this
+// registry. It reports false when nothing qualifies.
+func (r *Registry) Negotiate(req Requirement) (Record, bool) {
+	candidates := r.Browse(req.Type)
+	best := -1
+	bestScore := 0.0
+	for i, c := range candidates {
+		ok := true
+		for cap, floor := range req.MinCaps {
+			if c.Capabilities[cap] < floor {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		score := 1.0
+		if req.Prefer != "" {
+			score = c.Capabilities[req.Prefer]
+		}
+		if best == -1 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best == -1 {
+		return Record{}, false
+	}
+	r.dir.metrics.Counter("discovery.negotiations").Inc()
+	return candidates[best], true
+}
+
+// String renders a record compactly for logs.
+func (r Record) String() string {
+	var caps []string
+	for k, v := range r.Capabilities {
+		caps = append(caps, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(caps)
+	return fmt.Sprintf("%s (%s) @%s [%s]", r.Instance, r.Type, r.Addr, strings.Join(caps, " "))
+}

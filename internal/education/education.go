@@ -1,0 +1,228 @@
+// Package education implements the paper's fifth dimension (milestones M13
+// and M14): a virtual-laboratory training simulator that produces the
+// "measurable learning outcomes" and "human-AI collaboration competency"
+// assessments the roadmap calls for. Cohorts of simulated trainees progress
+// through curricula; AI-integrated curricula build AI-collaboration skill
+// and calibrate trust (the gap between a trainee's trust in autonomous
+// systems and those systems' actual reliability), while traditional
+// curricula build domain skill only. The assessment model scores both.
+package education
+
+import (
+	"sort"
+
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+// Skill names used by the built-in curricula.
+const (
+	SkillDomain    = "domain"     // core scientific knowledge
+	SkillLab       = "laboratory" // hands-on technique
+	SkillCompute   = "computing"  // workflow/computational thinking
+	SkillAICollab  = "ai-collab"  // working with autonomous agents
+	SkillJudgement = "judgement"  // critical evaluation of automated results
+)
+
+// Trainee is one simulated learner.
+type Trainee struct {
+	Skills map[string]float64 // 0..1 mastery
+	// Trust is the trainee's trust in autonomous systems, 0..1.
+	Trust float64
+	// aptitude scales learning rate, drawn per trainee.
+	aptitude float64
+}
+
+// Module is one curriculum unit.
+type Module struct {
+	Name string
+	// Focus distributes the module's effect across skills.
+	Focus map[string]float64
+	// Hours of instruction.
+	Hours float64
+	// HandsOn doubles laboratory-skill efficiency.
+	HandsOn bool
+	// AIIntegrated modules expose trainees to autonomous systems: they
+	// grow ai-collab skill and calibrate trust toward SystemReliability.
+	AIIntegrated bool
+}
+
+// Curriculum is an ordered module list.
+type Curriculum struct {
+	Name    string
+	Modules []Module
+}
+
+// Traditional returns the baseline curriculum: domain-heavy, no autonomous
+// systems exposure.
+func Traditional() Curriculum {
+	return Curriculum{
+		Name: "traditional",
+		Modules: []Module{
+			{Name: "foundations", Focus: map[string]float64{SkillDomain: 1}, Hours: 120},
+			{Name: "lab-methods", Focus: map[string]float64{SkillLab: 0.8, SkillDomain: 0.2}, Hours: 90, HandsOn: true},
+			{Name: "data-analysis", Focus: map[string]float64{SkillCompute: 0.7, SkillJudgement: 0.3}, Hours: 60},
+			{Name: "capstone", Focus: map[string]float64{SkillDomain: 0.4, SkillLab: 0.4, SkillJudgement: 0.2}, Hours: 80, HandsOn: true},
+		},
+	}
+}
+
+// AIIntegrated returns the M13-style curriculum: the same contact hours
+// with autonomous-laboratory integration woven through.
+func AIIntegrated() Curriculum {
+	return Curriculum{
+		Name: "ai-integrated",
+		Modules: []Module{
+			{Name: "foundations", Focus: map[string]float64{SkillDomain: 1}, Hours: 110},
+			{Name: "autonomous-lab-methods", Focus: map[string]float64{SkillLab: 0.6, SkillAICollab: 0.4},
+				Hours: 90, HandsOn: true, AIIntegrated: true},
+			{Name: "workflow-thinking", Focus: map[string]float64{SkillCompute: 0.6, SkillAICollab: 0.4},
+				Hours: 60, AIIntegrated: true},
+			{Name: "trust-and-verification", Focus: map[string]float64{SkillJudgement: 0.7, SkillAICollab: 0.3},
+				Hours: 40, AIIntegrated: true},
+			{Name: "capstone-with-agents", Focus: map[string]float64{SkillDomain: 0.35, SkillLab: 0.35, SkillAICollab: 0.3},
+				Hours: 60, HandsOn: true, AIIntegrated: true},
+		},
+	}
+}
+
+// Simulator runs cohorts through curricula.
+type Simulator struct {
+	rnd *rng.Stream
+
+	// SystemReliability is the true reliability of the autonomous systems
+	// trainees work with; trust calibrates toward it. Default 0.85.
+	SystemReliability float64
+	// LearnRate scales skill growth per hour. Default 0.008.
+	LearnRate float64
+}
+
+// NewSimulator seeds a training simulator.
+func NewSimulator(r *rng.Stream) *Simulator {
+	return &Simulator{rnd: r.Fork("education"), SystemReliability: 0.85, LearnRate: 0.008}
+}
+
+// NewTrainee draws a trainee with random aptitude and naive trust.
+func (s *Simulator) NewTrainee() *Trainee {
+	return &Trainee{
+		Skills:   map[string]float64{},
+		Trust:    s.rnd.Range(0.1, 0.9), // uncalibrated prior
+		aptitude: s.rnd.Normal(1, 0.15),
+	}
+}
+
+// RunModule advances one trainee through one module.
+func (s *Simulator) RunModule(tr *Trainee, m Module) {
+	for skill, w := range m.Focus {
+		eff := s.LearnRate * tr.aptitude * w * m.Hours
+		if m.HandsOn && skill == SkillLab {
+			eff *= 1.6
+		}
+		cur := tr.Skills[skill]
+		// Diminishing returns toward mastery.
+		tr.Skills[skill] = cur + eff*(1-cur)
+		if tr.Skills[skill] > 1 {
+			tr.Skills[skill] = 1
+		}
+	}
+	if m.AIIntegrated {
+		// Each AI-integrated contact hour moves trust toward the system's
+		// true reliability (calibration), with individual noise.
+		rate := 0.006 * m.Hours
+		if rate > 0.9 {
+			rate = 0.9
+		}
+		tr.Trust += rate*(s.SystemReliability-tr.Trust) + s.rnd.Normal(0, 0.01)
+		if tr.Trust < 0 {
+			tr.Trust = 0
+		}
+		if tr.Trust > 1 {
+			tr.Trust = 1
+		}
+	}
+}
+
+// TrustError is the absolute miscalibration |trust - reliability|.
+func (s *Simulator) TrustError(tr *Trainee) float64 {
+	d := tr.Trust - s.SystemReliability
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Assessment is the M14 competency exam: weighted skills plus a human-AI
+// collaboration practicum that depends on ai-collab skill AND calibrated
+// trust (over- and under-trust both cost points, mirroring medical
+// simulation-training rubrics).
+type Assessment struct {
+	Score       float64
+	CollabScore float64
+	DomainScore float64
+	TrustError  float64
+	Passed      bool
+}
+
+// Assess examines one trainee.
+func (s *Simulator) Assess(tr *Trainee) Assessment {
+	domain := 0.5*tr.Skills[SkillDomain] + 0.3*tr.Skills[SkillLab] + 0.2*tr.Skills[SkillCompute]
+	terr := s.TrustError(tr)
+	collab := 0.6*tr.Skills[SkillAICollab] + 0.2*tr.Skills[SkillJudgement] + 0.2*(1-terr/0.85)
+	if collab < 0 {
+		collab = 0
+	}
+	score := 0.55*domain + 0.45*collab
+	return Assessment{
+		Score:       score,
+		CollabScore: collab,
+		DomainScore: domain,
+		TrustError:  terr,
+		Passed:      score >= 0.45,
+	}
+}
+
+// CohortReport aggregates a cohort's outcomes.
+type CohortReport struct {
+	Curriculum     string
+	N              int
+	MeanScore      float64
+	MeanCollab     float64
+	MeanDomain     float64
+	MeanTrustError float64
+	PassRate       float64
+	MedianScore    float64
+	ContactHours   float64
+}
+
+// RunCohort trains n trainees through the curriculum and assesses them.
+func (s *Simulator) RunCohort(n int, c Curriculum) CohortReport {
+	rep := CohortReport{Curriculum: c.Name, N: n}
+	var scores []float64
+	for _, m := range c.Modules {
+		rep.ContactHours += m.Hours
+	}
+	for i := 0; i < n; i++ {
+		tr := s.NewTrainee()
+		for _, m := range c.Modules {
+			s.RunModule(tr, m)
+		}
+		a := s.Assess(tr)
+		rep.MeanScore += a.Score
+		rep.MeanCollab += a.CollabScore
+		rep.MeanDomain += a.DomainScore
+		rep.MeanTrustError += a.TrustError
+		if a.Passed {
+			rep.PassRate++
+		}
+		scores = append(scores, a.Score)
+	}
+	if n > 0 {
+		rep.MeanScore /= float64(n)
+		rep.MeanCollab /= float64(n)
+		rep.MeanDomain /= float64(n)
+		rep.MeanTrustError /= float64(n)
+		rep.PassRate /= float64(n)
+		sort.Float64s(scores)
+		rep.MedianScore = scores[n/2]
+	}
+	return rep
+}

@@ -1,0 +1,145 @@
+package education
+
+import (
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+func TestSkillGrowthMonotoneWithDiminishingReturns(t *testing.T) {
+	s := NewSimulator(rng.New(1))
+	tr := s.NewTrainee()
+	m := Module{Name: "m", Focus: map[string]float64{SkillDomain: 1}, Hours: 50}
+	var last float64
+	var gains []float64
+	for i := 0; i < 10; i++ {
+		s.RunModule(tr, m)
+		cur := tr.Skills[SkillDomain]
+		if cur < last {
+			t.Fatal("skill decreased")
+		}
+		gains = append(gains, cur-last)
+		last = cur
+	}
+	if gains[9] >= gains[0] {
+		t.Fatalf("no diminishing returns: first gain %v, last %v", gains[0], gains[9])
+	}
+	if last > 1 {
+		t.Fatal("skill exceeded mastery cap")
+	}
+}
+
+func TestHandsOnBoostsLabSkill(t *testing.T) {
+	s := NewSimulator(rng.New(2))
+	a := s.NewTrainee()
+	b := s.NewTrainee()
+	a.aptitude, b.aptitude = 1, 1
+	base := Module{Focus: map[string]float64{SkillLab: 1}, Hours: 60}
+	handsOn := base
+	handsOn.HandsOn = true
+	s.RunModule(a, base)
+	s.RunModule(b, handsOn)
+	if b.Skills[SkillLab] <= a.Skills[SkillLab] {
+		t.Fatalf("hands-on %v should beat lecture %v", b.Skills[SkillLab], a.Skills[SkillLab])
+	}
+}
+
+func TestTrustCalibration(t *testing.T) {
+	s := NewSimulator(rng.New(3))
+	tr := s.NewTrainee()
+	tr.Trust = 0.1 // deeply distrustful
+	m := Module{Focus: map[string]float64{SkillAICollab: 1}, Hours: 60, AIIntegrated: true}
+	before := s.TrustError(tr)
+	for i := 0; i < 6; i++ {
+		s.RunModule(tr, m)
+	}
+	after := s.TrustError(tr)
+	if after >= before {
+		t.Fatalf("trust error did not shrink: %v -> %v", before, after)
+	}
+	if after > 0.2 {
+		t.Fatalf("trust poorly calibrated after 360 AI-integrated hours: %v", after)
+	}
+}
+
+func TestTraditionalCurriculumLeavesTrustUncalibrated(t *testing.T) {
+	s := NewSimulator(rng.New(4))
+	tr := s.NewTrainee()
+	initial := tr.Trust
+	for _, m := range Traditional().Modules {
+		s.RunModule(tr, m)
+	}
+	if tr.Trust != initial {
+		t.Fatal("traditional curriculum should not touch trust")
+	}
+	if tr.Skills[SkillAICollab] != 0 {
+		t.Fatal("traditional curriculum should not build ai-collab skill")
+	}
+}
+
+func TestCohortAIIntegratedBeatsTraditionalOnCollab(t *testing.T) {
+	s := NewSimulator(rng.New(5))
+	trad := s.RunCohort(200, Traditional())
+	ai := s.RunCohort(200, AIIntegrated())
+
+	if ai.MeanCollab <= trad.MeanCollab {
+		t.Fatalf("AI-integrated collab %v should beat traditional %v", ai.MeanCollab, trad.MeanCollab)
+	}
+	if ai.MeanTrustError >= trad.MeanTrustError {
+		t.Fatalf("AI-integrated trust error %v should be below traditional %v",
+			ai.MeanTrustError, trad.MeanTrustError)
+	}
+	// Domain knowledge should remain comparable (within 20%): integration
+	// must not hollow out fundamentals.
+	if ai.MeanDomain < trad.MeanDomain*0.8 {
+		t.Fatalf("AI-integrated domain skill collapsed: %v vs %v", ai.MeanDomain, trad.MeanDomain)
+	}
+	if ai.MeanScore <= trad.MeanScore {
+		t.Fatalf("overall outcome should favor AI-integrated: %v vs %v", ai.MeanScore, trad.MeanScore)
+	}
+}
+
+func TestCohortReportFields(t *testing.T) {
+	s := NewSimulator(rng.New(6))
+	rep := s.RunCohort(50, AIIntegrated())
+	if rep.N != 50 || rep.Curriculum != "ai-integrated" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.ContactHours != 360 {
+		t.Fatalf("contact hours = %v", rep.ContactHours)
+	}
+	if rep.PassRate < 0 || rep.PassRate > 1 {
+		t.Fatalf("pass rate = %v", rep.PassRate)
+	}
+	if rep.MedianScore <= 0 {
+		t.Fatal("median score missing")
+	}
+}
+
+func TestAssessmentPenalizesOverAndUnderTrust(t *testing.T) {
+	s := NewSimulator(rng.New(7))
+	calibrated := s.NewTrainee()
+	calibrated.Trust = s.SystemReliability
+	over := s.NewTrainee()
+	over.Trust = 1.0
+	under := s.NewTrainee()
+	under.Trust = 0.0
+	for _, tr := range []*Trainee{calibrated, over, under} {
+		tr.Skills[SkillAICollab] = 0.5
+		tr.Skills[SkillJudgement] = 0.5
+	}
+	c := s.Assess(calibrated).CollabScore
+	o := s.Assess(over).CollabScore
+	u := s.Assess(under).CollabScore
+	if c <= o || c <= u {
+		t.Fatalf("calibrated trust should score best: c=%v o=%v u=%v", c, o, u)
+	}
+}
+
+func TestEmptyCohort(t *testing.T) {
+	s := NewSimulator(rng.New(8))
+	rep := s.RunCohort(0, Traditional())
+	if rep.N != 0 || rep.MeanScore != 0 {
+		t.Fatalf("empty cohort: %+v", rep)
+	}
+}

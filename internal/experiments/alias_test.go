@@ -1,0 +1,6 @@
+package experiments
+
+import "github.com/aisle-sim/aisle/internal/telemetry"
+
+// tableT aliases telemetry.Table for compact test code.
+type tableT = telemetry.Table

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aisle-sim/aisle/internal/fabric"
+	"github.com/aisle-sim/aisle/internal/metadata"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+func init() {
+	register("E8", "M5: automated metadata annotation accuracy across domains", runE8)
+	register("E9", "M6: federated data mesh — discovery recall and autonomous FAIR governance", runE9)
+	register("E9a", "ablation: pass-by-reference proxies vs by-value data movement", runE9a)
+	register("E10", "M7: high-velocity stream quality assessment — throughput, precision, recall", runE10)
+}
+
+// runE8 reproduces M5: AI-driven metadata annotation "achieving high
+// accuracy without human intervention" in multiple domains.
+func runE8(o Options) []*telemetry.Table {
+	docs := o.scale(3000, 600)
+	g := metadata.NewGenerator(rng.New(o.Seed))
+	corpus := g.Corpus([]metadata.Domain{
+		metadata.DomainMaterials, metadata.DomainChemistry, metadata.DomainBiology,
+	}, docs)
+
+	start := time.Now()
+	rep := metadata.Evaluate(&metadata.Annotator{}, corpus)
+	wall := time.Since(start).Seconds()
+
+	t := &telemetry.Table{
+		Name:    "E8",
+		Caption: fmt.Sprintf("field-level extraction accuracy over %d generated documents", docs),
+		Columns: []string{"domain", "fields", "accuracy"},
+	}
+	for _, d := range []metadata.Domain{metadata.DomainMaterials, metadata.DomainChemistry, metadata.DomainBiology} {
+		ds := rep.ByDomain[d]
+		t.AddRow(string(d), ds.Fields, fmt.Sprintf("%.1f%%", ds.Accuracy()*100))
+	}
+	t.AddRow("overall", rep.Fields, fmt.Sprintf("%.1f%%", rep.Accuracy()*100))
+	t.AddNote("throughput: %.0f documents/s (wall)", float64(docs)/wall)
+	t.AddNote("paper claim (M5): high accuracy without human intervention, multiple domains")
+	return []*telemetry.Table{t}
+}
+
+// e9Mesh builds a 4-site mesh populated with datasets of varying curation
+// quality.
+func e9Mesh(seed uint64, perSite int) (*sim.Engine, *fabric.Mesh, []netsim.SiteID) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, rng.New(seed))
+	sites := []netsim.SiteID{"ornl", "anl", "slac", "pnnl"}
+	for _, s := range sites {
+		net.AddSite(s).Firewall.AllowAll()
+	}
+	net.FullMesh(sites, netsim.Link{Latency: 15 * sim.Millisecond, Bandwidth: 125e6})
+	m := fabric.NewMesh(net)
+	r := rng.New(seed).Fork("datasets")
+	domains := []string{"materials", "chemistry", "biology", "physics"}
+	topics := []string{"perovskite", "alloy", "catalysis", "polymer", "battery", "nanocrystal"}
+	for _, s := range sites {
+		node := m.AddNode(s)
+		for i := 0; i < perSite; i++ {
+			topic := topics[r.Intn(len(topics))]
+			d := fabric.Dataset{
+				ID:     fmt.Sprintf("%s-ds-%04d", s, i),
+				Title:  fmt.Sprintf("%s study %d at %s", topic, i, s),
+				Domain: domains[r.Intn(len(domains))],
+			}
+			// Only some datasets arrive well-curated.
+			if r.Bool(0.3) {
+				d.Keywords = []string{topic, "aisle", "autonomous"}
+				d.License = "CC-BY-4.0"
+				d.AccessURL = "aisle://" + string(s) + "/" + d.ID
+				d.Metadata = map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}
+			}
+			node.Publish(d)
+		}
+	}
+	return eng, m, sites
+}
+
+// runE9 reproduces M6: federated mesh with cross-institutional discovery
+// and autonomous FAIR governance.
+func runE9(o Options) []*telemetry.Table {
+	perSite := o.scale(2500, 400)
+	_, m, sites := e9Mesh(o.Seed, perSite)
+
+	// Discovery recall: every "perovskite" dataset must be findable from a
+	// single federated query.
+	var want int
+	for _, s := range sites {
+		node := m.Node(s)
+		for _, id := range node.Datasets() {
+			d, _ := node.Dataset(id)
+			if containsToken(d.Title, "perovskite") {
+				want++
+			}
+		}
+	}
+	start := time.Now()
+	hits := m.Search("perovskite")
+	queryWall := time.Since(start).Seconds()
+	recall := float64(len(hits)) / float64(want)
+
+	// FAIR governance: score before, curate, score after.
+	scoreAll := func() (mean float64, compliant float64) {
+		n := 0
+		for _, s := range sites {
+			node := m.Node(s)
+			for _, id := range node.Datasets() {
+				d, _ := node.Dataset(id)
+				sc := m.ScoreFAIR(d).Overall()
+				mean += sc
+				if sc >= 0.8 {
+					compliant++
+				}
+				n++
+			}
+		}
+		return mean / float64(n), compliant / float64(n)
+	}
+	beforeMean, beforeComp := scoreAll()
+	repairs := 0
+	for _, s := range sites {
+		rep := (&fabric.Curator{Mesh: m}).Curate(m.Node(s))
+		repairs += rep.Repairs
+	}
+	afterMean, afterComp := scoreAll()
+
+	t := &telemetry.Table{
+		Name:    "E9",
+		Caption: fmt.Sprintf("4-site mesh, %d datasets", 4*perSite),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("federated query recall", fmt.Sprintf("%.1f%% (%d/%d)", recall*100, len(hits), want))
+	t.AddRow("federated query wall time", fmt.Sprintf("%.2f ms", queryWall*1000))
+	t.AddRow("mean FAIR before curation", beforeMean)
+	t.AddRow("mean FAIR after curation", afterMean)
+	t.AddRow("FAIR-compliant (>=0.8) before", fmt.Sprintf("%.1f%%", beforeComp*100))
+	t.AddRow("FAIR-compliant (>=0.8) after", fmt.Sprintf("%.1f%%", afterComp*100))
+	t.AddRow("autonomous repairs applied", repairs)
+	t.AddNote("paper claim (M6): cross-institutional discovery with autonomous FAIR data governance")
+	return []*telemetry.Table{t}
+}
+
+func containsToken(title, tok string) bool {
+	return len(title) >= len(tok) && (title[:len(tok)] == tok || containsTokenRest(title, tok))
+}
+
+func containsTokenRest(title, tok string) bool {
+	for i := 1; i+len(tok) <= len(title); i++ {
+		if title[i:i+len(tok)] == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// runE9a is the ProxyStore ablation: moving dataset references versus
+// moving dataset bytes through a 3-hop agent pipeline.
+func runE9a(o Options) []*telemetry.Table {
+	sizeMB := o.scale(64, 8)
+	size := sizeMB * 1e6
+
+	run := func(byValue bool) (seconds float64, bytesMoved float64) {
+		eng := sim.NewEngine()
+		net := netsim.New(eng, rng.New(o.Seed))
+		sites := []netsim.SiteID{"a", "b", "c"}
+		for _, s := range sites {
+			net.AddSite(s).Firewall.AllowAll()
+		}
+		net.FullMesh(sites, netsim.Link{Latency: 15 * sim.Millisecond, Bandwidth: 125e6})
+		m := fabric.NewMesh(net)
+		for _, s := range sites {
+			m.AddNode(s)
+		}
+		data := make([]byte, size)
+		ref := m.Node("a").Put(data)
+
+		var done sim.Time
+		if byValue {
+			// a -> b -> c: the bytes travel both hops.
+			m.Fetch("b", ref, func(d []byte, err error) {
+				if err != nil {
+					return
+				}
+				ref2 := m.Node("b").Put(d)
+				m.Fetch("c", ref2, func([]byte, error) { done = eng.Now() })
+			})
+		} else {
+			// The reference travels (100 bytes per hop); only the final
+			// consumer resolves the data, once.
+			_ = net.Send(netsim.Message{From: "a", To: "b", Service: "fabric", Size: 100},
+				func(netsim.Message) {
+					_ = net.Send(netsim.Message{From: "b", To: "c", Service: "fabric", Size: 100},
+						func(netsim.Message) {
+							m.Fetch("c", ref, func([]byte, error) { done = eng.Now() })
+						})
+				})
+		}
+		_ = eng.Run()
+		moved := float64(m.Metrics().Counter("fabric.bytes_moved").Value())
+		return done.Seconds(), moved
+	}
+
+	valSec, valBytes := run(true)
+	refSec, refBytes := run(false)
+
+	t := &telemetry.Table{
+		Name:    "E9a",
+		Caption: fmt.Sprintf("%dMB dataset through a 3-site agent pipeline", sizeMB),
+		Columns: []string{"strategy", "end-to-end (s)", "bytes moved (MB)"},
+	}
+	t.AddRow("by value (copy at each hop)", valSec, valBytes/1e6)
+	t.AddRow("by reference (proxy)", refSec, refBytes/1e6)
+	t.AddRow("proxy advantage", fmt.Sprintf("%.2fx faster", valSec/refSec),
+		fmt.Sprintf("%.2fx fewer bytes", valBytes/refBytes))
+	return []*telemetry.Table{t}
+}
+
+// runE10 reproduces M7: near-real-time stream processing with automated
+// quality assessment.
+func runE10(o Options) []*telemetry.Table {
+	events := o.scale(200000, 20000)
+	p := fabric.NewStreamProcessor()
+	p.Lo, p.Hi = -50, 500
+	p.ReduceKeep1InN = 10
+	kept := 0
+	p.OnNormal = func(fabric.Assessment) { kept++ }
+
+	r := rng.New(o.Seed).Fork("stream")
+	var stats fabric.StreamStats
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		src := fmt.Sprintf("sensor-%d", i%8)
+		ev := fabric.StreamEvent{Source: src, Value: r.Normal(100, 3)}
+		if r.Bool(0.01) {
+			ev.Truth = true
+			switch r.Intn(3) {
+			case 0:
+				ev.Value = 700 // hard out-of-range
+			case 1:
+				ev.Value = 100 + r.Range(30, 90) // spike
+			default:
+				ev.Value = 100 - r.Range(30, 90) // negative spike
+			}
+		}
+		stats.Score(p.Ingest(ev))
+	}
+	wall := time.Since(start).Seconds()
+
+	t := &telemetry.Table{
+		Name:    "E10",
+		Caption: fmt.Sprintf("%d events across 8 sensors, 1%% injected anomalies", events),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("throughput (events/s wall)", float64(events)/wall)
+	t.AddRow("anomaly precision", fmt.Sprintf("%.1f%%", stats.Precision()*100))
+	t.AddRow("anomaly recall", fmt.Sprintf("%.1f%%", stats.Recall()*100))
+	t.AddRow("normal events forwarded", kept)
+	t.AddRow("data reduction", fmt.Sprintf("%.1fx", float64(stats.TrueNegatives)/float64(max1(kept))))
+	t.AddNote("paper claim (M7): high-velocity streams with automated quality assessment and intelligent reduction")
+	return []*telemetry.Table{t}
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

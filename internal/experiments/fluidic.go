@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aisle-sim/aisle/internal/core"
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+func init() {
+	register("E4", "§3.1: fluidic SDL vs batch — >100x data-acquisition efficiency", runE4)
+	register("E5", "§1: isolated manual lab vs interconnected autonomous network — time to discovery", runE5)
+}
+
+// runE4 reproduces the fluidic-SDL claim: ">100x data acquisition
+// efficiency over traditional batch methods" at equal wall-clock budget,
+// with reagent-consumption accounting.
+func runE4(o Options) []*telemetry.Table {
+	window := sim.Time(o.scale(8, 2)) * sim.Hour
+	reps := o.replicas()
+
+	type result struct {
+		completed float64
+		volumeML  float64
+	}
+	run := func(fluidic bool) []result {
+		return parMap(reps, func(rep int) result {
+			eng := sim.NewEngine()
+			r := rng.New(o.Seed + uint64(rep)*101)
+			model := twin.Perovskite{}
+			var in *instrument.Instrument
+			if fluidic {
+				in = instrument.NewFluidicReactor(eng, r, "flow", "lab", model)
+			} else {
+				in = instrument.NewBatchReactor(eng, r, "batch", "lab", model)
+			}
+			space := model.Space()
+			sampler := r.Fork("sampler")
+			var next func()
+			next = func() {
+				in.Submit(instrument.Command{Action: "synthesize", Params: space.Sample(sampler)},
+					func(res instrument.Result) {
+						if eng.Now() < window {
+							next()
+						}
+					})
+			}
+			next()
+			_ = eng.RunUntil(window)
+			vol := in.Descriptor().Capabilities["volume_mL"]
+			return result{
+				completed: float64(in.Completed()),
+				volumeML:  vol * float64(in.Completed()),
+			}
+		})
+	}
+
+	batch := run(false)
+	fluidic := run(true)
+	bN := meanOf(batch, func(r result) float64 { return r.completed })
+	fN := meanOf(fluidic, func(r result) float64 { return r.completed })
+	bV := meanOf(batch, func(r result) float64 { return r.volumeML })
+	fV := meanOf(fluidic, func(r result) float64 { return r.volumeML })
+
+	t := &telemetry.Table{
+		Name:    "E4",
+		Caption: fmt.Sprintf("experiments completed in a %s window (mean of %d replicas)", window, reps),
+		Columns: []string{"platform", "experiments", "data points/h", "reagent (mL)", "mL per data point"},
+	}
+	hours := window.Seconds() / 3600
+	t.AddRow("batch reactor", bN, bN/hours, bV, bV/bN)
+	t.AddRow("fluidic SDL", fN, fN/hours, fV, fV/fN)
+	t.AddRow("fluidic/batch ratio", fmt.Sprintf("%.0fx", fN/bN), "", "", fmt.Sprintf("%.4gx less", (bV/bN)/(fV/fN)))
+	t.AddNote("paper claim (§3.1, ref [24]): >100x data acquisition efficiency")
+	return []*telemetry.Table{t}
+}
+
+// runE5 reproduces the introduction's framing: autonomous interconnected
+// laboratories shorten the discovery cycle from "decades to months". The
+// isolated condition is a single manual batch lab (working-hours decisions,
+// no sharing); the interconnected condition is the full AISLE stack.
+func runE5(o Options) []*telemetry.Table {
+	reps := o.replicas()
+	target := 0.55
+	budget := o.scale(150, 40)
+
+	type result struct {
+		days     float64
+		executed float64
+		reached  float64
+	}
+	run := func(interconnected bool) []result {
+		return parMap(reps, func(rep int) result {
+			n := buildFederation(testbedOpts{
+				seed:     o.Seed + uint64(rep)*211,
+				sites:    pick(interconnected, 3, 1),
+				shared:   interconnected,
+				reactors: pick(interconnected, "fluidic", "batch"),
+			})
+			defer n.Stop()
+			r := runCampaign(n, core.CampaignConfig{
+				Name: fmt.Sprintf("e5-%v-%d", interconnected, rep),
+				Site: n.Sites()[0], Model: twin.Perovskite{},
+				Budget: budget, Target: target,
+				Mode:         pick(interconnected, core.OrchAgentVerified, core.OrchManual),
+				SynthKind:    pick(interconnected, instrument.KindFlowReactor, instrument.KindSynthesis),
+				UseKnowledge: interconnected,
+				SeedLabel:    fmt.Sprintf("r%d", rep),
+			}, 500*sim.Day)
+			if r == nil {
+				return result{days: 500, executed: float64(budget)}
+			}
+			return result{
+				days:     r.Makespan().Seconds() / 86400,
+				executed: float64(r.Executed),
+				reached:  boolTo01(r.BestValue >= target),
+			}
+		})
+	}
+
+	isolated := run(false)
+	connected := run(true)
+	isoDays := meanOf(isolated, func(r result) float64 { return r.days })
+	conDays := meanOf(connected, func(r result) float64 { return r.days })
+
+	t := &telemetry.Table{
+		Name:    "E5",
+		Caption: fmt.Sprintf("time to reach plqy >= %.2f (mean of %d replicas)", target, reps),
+		Columns: []string{"configuration", "days to target", "experiments", "target reached"},
+	}
+	t.AddRow("isolated manual lab (batch, 1 site)", isoDays,
+		meanOf(isolated, func(r result) float64 { return r.executed }),
+		fmt.Sprintf("%.0f%%", 100*meanOf(isolated, func(r result) float64 { return r.reached })))
+	t.AddRow("interconnected autonomous (fluidic, 3 sites)", conDays,
+		meanOf(connected, func(r result) float64 { return r.executed }),
+		fmt.Sprintf("%.0f%%", 100*meanOf(connected, func(r result) float64 { return r.reached })))
+	t.AddRow("acceleration", fmt.Sprintf("%.0fx", isoDays/conDays), "", "")
+	t.AddNote("paper framing (§1): discovery cycles shortened from decades to months (~1-2 orders of magnitude)")
+	return []*telemetry.Table{t}
+}
+
+func pick[T any](cond bool, a, b T) T {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/discovery"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+func init() {
+	register("E11", "M12: self-discovering agent networks — convergence and capability negotiation", runE11)
+	register("E12", "§3.3: navigating a 10^13-condition synthesis space (Smart Dope)", runE12)
+}
+
+// runE11 reproduces M12: DNS-SD-style self-discovery with dynamic
+// reconfiguration — convergence time after a registration burst, after
+// partition heal, and capability-negotiation success.
+func runE11(o Options) []*telemetry.Table {
+	reps := o.replicas()
+
+	type result struct {
+		burstS     float64
+		healS      float64
+		negotiated float64
+	}
+	run := func(nSites, nServices int) []result {
+		return parMap(reps, func(rep int) result {
+			eng := sim.NewEngine()
+			net := netsim.New(eng, rng.New(o.Seed+uint64(rep)*17))
+			sites := siteNames(nSites)
+			for _, s := range sites {
+				net.AddSite(s).Firewall.AllowAll()
+			}
+			// Ring topology: gossip must propagate hop by hop, so
+			// convergence time scales with network diameter (the geographic
+			// distribution M12 describes).
+			link := netsim.Link{Latency: 15 * sim.Millisecond, Jitter: sim.Millisecond}
+			for i := range sites {
+				net.Connect(sites[i], sites[(i+1)%len(sites)], link)
+			}
+			fab := bus.NewFabric(net)
+			d := discovery.NewDirectory(fab, sites)
+			d.GossipInterval = 2 * sim.Second
+			d.Start()
+			defer d.Stop()
+
+			// Registration burst spread across sites.
+			for i := 0; i < nServices; i++ {
+				site := sites[i%len(sites)]
+				d.Registry(site).Register(discovery.Record{
+					Instance: fmt.Sprintf("%s/svc-%02d", site, i),
+					Type:     "_instr._aisle",
+					Addr:     bus.Address{Site: site, Name: fmt.Sprintf("svc-%02d", i)},
+					Capabilities: map[string]float64{
+						"throughput": float64(1 + i%7),
+						"resolution": float64(1+i%5) / 10,
+					},
+				})
+			}
+			burstStart := eng.Now()
+			burst := convergeTime(eng, d, burstStart, 10*sim.Minute)
+
+			// Partition one site away, register a service behind the
+			// partition, heal, and measure re-convergence.
+			island := []netsim.SiteID{sites[len(sites)-1]}
+			rest := sites[:len(sites)-1]
+			net.Partition(rest, island)
+			d.Registry(island[0]).Register(discovery.Record{
+				Instance: string(island[0]) + "/late",
+				Type:     "_instr._aisle",
+				Addr:     bus.Address{Site: island[0], Name: "late"},
+			})
+			_ = eng.RunUntil(eng.Now() + 30*sim.Second)
+			net.Heal(rest, island)
+			healStart := eng.Now()
+			heal := convergeTime(eng, d, healStart, 10*sim.Minute)
+
+			// Capability negotiation from every site.
+			negOK := 0
+			for _, s := range sites {
+				if _, ok := d.Registry(s).Negotiate(discovery.Requirement{
+					Type:    "_instr._aisle",
+					MinCaps: map[string]float64{"throughput": 5},
+					Prefer:  "resolution",
+				}); ok {
+					negOK++
+				}
+			}
+			return result{
+				burstS:     burst.Seconds(),
+				healS:      heal.Seconds(),
+				negotiated: float64(negOK) / float64(len(sites)),
+			}
+		})
+	}
+
+	t := &telemetry.Table{
+		Name:    "E11",
+		Caption: fmt.Sprintf("discovery convergence, 2s gossip (mean of %d replicas)", reps),
+		Columns: []string{"topology", "burst convergence (s)", "heal convergence (s)", "negotiation success"},
+	}
+	for _, tc := range []struct {
+		sites, services int
+	}{{3, 12}, {6, 30}, {8, 48}} {
+		rows := run(tc.sites, tc.services)
+		t.AddRow(fmt.Sprintf("%d sites / %d services", tc.sites, tc.services),
+			meanOf(rows, func(r result) float64 { return r.burstS }),
+			meanOf(rows, func(r result) float64 { return r.healS }),
+			fmt.Sprintf("%.0f%%", 100*meanOf(rows, func(r result) float64 { return r.negotiated })))
+	}
+	t.AddNote("paper claim (M12): dynamic reconfiguration and capability negotiation without central coordination")
+	return []*telemetry.Table{t}
+}
+
+// convergeTime advances the engine until the directory converges, returning
+// the elapsed virtual time (or the horizon on overrun).
+func convergeTime(eng *sim.Engine, d *discovery.Directory, start sim.Time, horizon sim.Time) sim.Time {
+	deadline := start + horizon
+	for !d.Converged() && eng.Now() < deadline {
+		_ = eng.RunUntil(eng.Now() + 500*sim.Millisecond)
+	}
+	return eng.Now() - start
+}
+
+// runE12 reproduces the Smart Dope claim: AI-guided search navigating ~10^13
+// possible synthesis conditions, against random and grid baselines.
+func runE12(o Options) []*telemetry.Table {
+	reps := o.replicas()
+	return []*telemetry.Table{searchTable(o, reps)}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aisle-sim/aisle/internal/core"
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+// siteNames generates n federation site IDs.
+func siteNames(n int) []netsim.SiteID {
+	base := []netsim.SiteID{"ornl", "anl", "slac", "pnnl", "jlab", "lbnl", "nrel", "ameslab"}
+	out := make([]netsim.SiteID, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(base) {
+			out = append(out, base[i])
+		} else {
+			out = append(out, netsim.SiteID(fmt.Sprintf("site%02d", i)))
+		}
+	}
+	return out
+}
+
+// testbedOpts configures the standard federation testbed.
+type testbedOpts struct {
+	seed      uint64
+	sites     int
+	zeroTrust bool
+	shared    bool
+	// reactors: "fluidic", "batch", or "both" at each site.
+	reactors string
+	model    twin.Model
+}
+
+// buildFederation assembles a federation with instruments at every site and
+// runs discovery to convergence.
+func buildFederation(o testbedOpts) *core.Network {
+	if o.model == nil {
+		o.model = twin.Perovskite{}
+	}
+	ids := siteNames(o.sites)
+	n := core.New(core.Config{
+		Seed:            o.seed,
+		Sites:           ids,
+		Link:            core.DefaultLink(),
+		ZeroTrust:       o.zeroTrust,
+		SharedKnowledge: o.shared,
+	})
+	for _, id := range ids {
+		s := n.Site(id)
+		switch o.reactors {
+		case "batch":
+			s.AddInstrument(instrument.NewBatchReactor(n.Eng, n.Rnd, "batch-"+string(id), string(id), o.model))
+		case "both":
+			s.AddInstrument(instrument.NewBatchReactor(n.Eng, n.Rnd, "batch-"+string(id), string(id), o.model))
+			s.AddInstrument(instrument.NewFluidicReactor(n.Eng, n.Rnd, "flow-"+string(id), string(id), o.model))
+		default:
+			s.AddInstrument(instrument.NewFluidicReactor(n.Eng, n.Rnd, "flow-"+string(id), string(id), o.model))
+		}
+		s.AddInstrument(instrument.NewSpectrometer(n.Eng, n.Rnd, "spec-"+string(id), string(id)))
+	}
+	// Let discovery converge before campaigns start.
+	_ = n.RunFor(3 * sim.Minute)
+	return n
+}
+
+// runCampaign drives the engine until the campaign reports or the horizon
+// elapses, returning the report (nil on horizon overrun).
+func runCampaign(n *core.Network, cfg core.CampaignConfig, horizon sim.Time) *core.CampaignReport {
+	var rep *core.CampaignReport
+	n.RunCampaign(cfg, func(r *core.CampaignReport) { rep = r })
+	deadline := n.Eng.Now() + horizon
+	for rep == nil && n.Eng.Now() < deadline {
+		if err := n.RunFor(6 * sim.Hour); err != nil {
+			return nil
+		}
+	}
+	return rep
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aisle-sim/aisle/internal/education"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+func init() {
+	register("E14", "M13/M14: AI-integrated curricula — measurable learning outcomes and trust calibration", runE14)
+}
+
+// runE14 reproduces M13/M14: the education infrastructure must produce
+// measurable learning outcomes, including human-AI collaboration competency
+// and trust calibration, without eroding domain fundamentals.
+func runE14(o Options) []*telemetry.Table {
+	cohort := o.scale(2000, 400)
+	s := education.NewSimulator(rng.New(o.Seed))
+
+	trad := s.RunCohort(cohort, education.Traditional())
+	ai := s.RunCohort(cohort, education.AIIntegrated())
+
+	t := &telemetry.Table{
+		Name:    "E14",
+		Caption: fmt.Sprintf("cohort of %d simulated trainees per curriculum", cohort),
+		Columns: []string{"outcome", "traditional", "ai-integrated", "delta"},
+	}
+	row := func(name string, a, b float64, pct bool) {
+		if pct {
+			t.AddRow(name, fmt.Sprintf("%.1f%%", a*100), fmt.Sprintf("%.1f%%", b*100),
+				fmt.Sprintf("%+.1f pp", (b-a)*100))
+			return
+		}
+		t.AddRow(name, a, b, fmt.Sprintf("%+.3f", b-a))
+	}
+	row("mean exam score", trad.MeanScore, ai.MeanScore, false)
+	row("median exam score", trad.MedianScore, ai.MedianScore, false)
+	row("human-AI collaboration score", trad.MeanCollab, ai.MeanCollab, false)
+	row("domain fundamentals score", trad.MeanDomain, ai.MeanDomain, false)
+	row("trust calibration error", trad.MeanTrustError, ai.MeanTrustError, false)
+	row("pass rate", trad.PassRate, ai.PassRate, true)
+	t.AddRow("contact hours", trad.ContactHours, ai.ContactHours, "")
+	t.AddNote("paper claims (M13/M14): measurable learning outcomes; human-AI collaboration competencies assessed; fundamentals preserved")
+	return []*telemetry.Table{t}
+}

@@ -1,0 +1,222 @@
+package fabric
+
+import (
+	"math"
+
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// StreamEvent is one reading on a high-velocity instrument stream.
+type StreamEvent struct {
+	At     sim.Time
+	Source string
+	Value  float64
+	// Truth marks injected anomalies in experiments; production code
+	// ignores it. It lets E10 score the assessor's precision/recall.
+	Truth bool
+}
+
+// Assessment is the quality verdict for one event.
+type Assessment struct {
+	Event     StreamEvent
+	Anomalous bool
+	Reason    string
+}
+
+// StreamProcessor is the near-real-time quality-assessment pipeline of
+// milestone M7. Per source it keeps a rolling window and applies three
+// detectors:
+//
+//   - range check against configured physical bounds,
+//   - spike detection (robust z-score against the rolling window),
+//   - stuck-sensor detection (window variance collapse).
+//
+// Events flagged anomalous are routed to the anomaly handler (triage);
+// normal events flow to the sink, optionally reduced (every Nth event kept)
+// to model intelligent data reduction.
+type StreamProcessor struct {
+	// Window is the per-source rolling window length. Default 64.
+	Window int
+	// ZThreshold flags |z| above this as spikes. Default 5.
+	ZThreshold float64
+	// Lo/Hi are physical bounds; NaN disables the range check.
+	Lo, Hi float64
+	// StuckWindow: if this many consecutive identical values arrive, the
+	// sensor is stuck. Default 8.
+	StuckWindow int
+	// ReduceKeep1InN keeps 1 of N normal events (0/1 = keep all).
+	ReduceKeep1InN int
+
+	OnAnomaly func(Assessment)
+	OnNormal  func(Assessment)
+
+	metrics *telemetry.Registry
+	windows map[string]*window
+	normals int
+}
+
+type window struct {
+	vals  []float64
+	idx   int
+	full  bool
+	same  int
+	last  float64
+	first bool
+}
+
+// NewStreamProcessor returns a processor with default thresholds and
+// unbounded range.
+func NewStreamProcessor() *StreamProcessor {
+	return &StreamProcessor{
+		Window:      64,
+		ZThreshold:  5,
+		Lo:          math.Inf(-1),
+		Hi:          math.Inf(1),
+		StuckWindow: 8,
+		metrics:     telemetry.NewRegistry(),
+		windows:     make(map[string]*window),
+	}
+}
+
+// Metrics exposes processor telemetry.
+func (p *StreamProcessor) Metrics() *telemetry.Registry { return p.metrics }
+
+// Ingest processes one event synchronously.
+func (p *StreamProcessor) Ingest(ev StreamEvent) Assessment {
+	p.metrics.Counter("stream.ingested").Inc()
+	w := p.windows[ev.Source]
+	if w == nil {
+		w = &window{vals: make([]float64, 0, p.Window), first: true}
+		p.windows[ev.Source] = w
+	}
+
+	a := Assessment{Event: ev}
+
+	switch {
+	case ev.Value < p.Lo || ev.Value > p.Hi:
+		a.Anomalous = true
+		a.Reason = "range"
+	case p.isStuck(w, ev.Value):
+		a.Anomalous = true
+		a.Reason = "stuck"
+	default:
+		if z, ok := p.zscore(w, ev.Value); ok && math.Abs(z) > p.ZThreshold {
+			a.Anomalous = true
+			a.Reason = "spike"
+		}
+	}
+
+	// Update the window only with values that look physically plausible —
+	// otherwise one spike poisons the statistics.
+	if !a.Anomalous || a.Reason == "stuck" {
+		p.push(w, ev.Value)
+	}
+
+	if a.Anomalous {
+		p.metrics.Counter("stream.anomalies").Inc()
+		if p.OnAnomaly != nil {
+			p.OnAnomaly(a)
+		}
+		return a
+	}
+	p.metrics.Counter("stream.normal").Inc()
+	p.normals++
+	if p.OnNormal != nil {
+		keep := p.ReduceKeep1InN <= 1 || p.normals%p.ReduceKeep1InN == 0
+		if keep {
+			p.OnNormal(a)
+		} else {
+			p.metrics.Counter("stream.reduced").Inc()
+		}
+	}
+	return a
+}
+
+func (p *StreamProcessor) push(w *window, v float64) {
+	if len(w.vals) < p.Window {
+		w.vals = append(w.vals, v)
+	} else {
+		w.vals[w.idx] = v
+		w.idx = (w.idx + 1) % p.Window
+		w.full = true
+	}
+	if !w.first && v == w.last {
+		w.same++
+	} else {
+		w.same = 0
+	}
+	w.last = v
+	w.first = false
+}
+
+func (p *StreamProcessor) isStuck(w *window, v float64) bool {
+	return !w.first && v == w.last && w.same+1 >= p.StuckWindow
+}
+
+// zscore computes the robust z of v against the window (median/MAD-lite:
+// mean and stddev over the window, which the spike exclusion keeps clean).
+// It reports false until the window has at least 8 samples.
+func (p *StreamProcessor) zscore(w *window, v float64) (float64, bool) {
+	n := len(w.vals)
+	if n < 8 {
+		return 0, false
+	}
+	var sum float64
+	for _, x := range w.vals {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range w.vals {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n))
+	if sd < 1e-12 {
+		sd = 1e-12
+	}
+	return (v - mean) / sd, true
+}
+
+// StreamStats summarises detector performance against injected truth.
+type StreamStats struct {
+	Events         int
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	TrueNegatives  int
+}
+
+// Precision reports TP/(TP+FP), 1 when no positives were raised.
+func (s StreamStats) Precision() float64 {
+	d := s.TruePositives + s.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(d)
+}
+
+// Recall reports TP/(TP+FN), 1 when nothing was injected.
+func (s StreamStats) Recall() float64 {
+	d := s.TruePositives + s.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(d)
+}
+
+// Score tallies an assessment against its ground truth.
+func (s *StreamStats) Score(a Assessment) {
+	s.Events++
+	switch {
+	case a.Event.Truth && a.Anomalous:
+		s.TruePositives++
+	case a.Event.Truth && !a.Anomalous:
+		s.FalseNegatives++
+	case !a.Event.Truth && a.Anomalous:
+		s.FalsePositives++
+	default:
+		s.TrueNegatives++
+	}
+}

@@ -1,0 +1,278 @@
+// Package knowledge implements milestone M9's distributed, real-time
+// knowledge integration: per-site knowledge bases holding experimental
+// insights (observations, pruned regions, notes) that propagate across
+// facilities through the bus with at-least-once delivery, merge under
+// vector-clock causality, and seed optimizers at other sites so the
+// federation avoids repeating experiments — the mechanism behind the
+// "reduce required experiments by >30%" claim.
+package knowledge
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// Kind classifies insights.
+type Kind string
+
+// Insight kinds.
+const (
+	KindObservation Kind = "observation" // completed experiment: point -> value
+	KindRegion      Kind = "region"      // pruned/promising region note
+	KindNote        Kind = "note"        // free-form grounded finding
+)
+
+// VectorClock tracks causal history per site.
+type VectorClock map[netsim.SiteID]uint64
+
+// Copy clones the clock.
+func (v VectorClock) Copy() VectorClock {
+	c := make(VectorClock, len(v))
+	for k, t := range v {
+		c[k] = t
+	}
+	return c
+}
+
+// Dominates reports whether v >= o componentwise with at least one strict.
+func (v VectorClock) Dominates(o VectorClock) bool {
+	strict := false
+	for k, t := range o {
+		if v[k] < t {
+			return false
+		}
+		if v[k] > t {
+			strict = true
+		}
+	}
+	for k := range v {
+		if _, ok := o[k]; !ok && v[k] > 0 {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Insight is one shareable finding.
+type Insight struct {
+	Key    string // canonical identity, e.g. "perovskite/obs/temp=150,..."
+	Kind   Kind
+	Domain string // model/campaign domain ("perovskite")
+	Point  param.Point
+	Value  float64
+	Note   string
+	Source netsim.SiteID
+	Clock  VectorClock
+	At     sim.Time
+}
+
+// Base is one site's knowledge store.
+type Base struct {
+	site     netsim.SiteID
+	fed      *Federation
+	insights map[string]*Insight
+	clock    VectorClock
+}
+
+// Federation wires per-site bases together over the bus.
+type Federation struct {
+	fabric  *bus.Fabric
+	eng     *sim.Engine
+	metrics *telemetry.Registry
+	bases   map[netsim.SiteID]*Base
+
+	// Shared: when false, Add stays site-local (the E3 isolated baseline).
+	Shared bool
+	// AckTimeout/MaxAttempts govern at-least-once propagation.
+	AckTimeout  sim.Time
+	MaxAttempts int
+}
+
+// NewFederation creates bases at the given sites, wired for sharing.
+func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Federation {
+	f := &Federation{
+		fabric:      fabric,
+		eng:         fabric.Engine(),
+		metrics:     telemetry.NewRegistry(),
+		bases:       make(map[netsim.SiteID]*Base),
+		Shared:      shared,
+		AckTimeout:  2 * sim.Second,
+		MaxAttempts: 5,
+	}
+	for _, s := range sites {
+		b := &Base{site: s, fed: f, insights: make(map[string]*Insight), clock: VectorClock{}}
+		f.bases[s] = b
+	}
+	if shared {
+		for _, s := range sites {
+			b := f.bases[s]
+			fabric.Subscribe(bus.Address{Site: s, Name: "knowledge"}, "knowledge",
+				bus.AtLeastOnce, func(env *bus.Envelope) {
+					if ins, ok := env.Payload.(*Insight); ok {
+						b.merge(ins)
+					}
+				})
+		}
+	}
+	return f
+}
+
+// Metrics exposes federation telemetry.
+func (f *Federation) Metrics() *telemetry.Registry { return f.metrics }
+
+// Base returns the knowledge base at a site.
+func (f *Federation) Base(site netsim.SiteID) *Base { return f.bases[site] }
+
+// Add records an insight at this base and, when sharing is on, publishes it
+// to every peer in real time.
+func (b *Base) Add(ins Insight) {
+	b.clock[b.site]++
+	ins.Source = b.site
+	ins.Clock = b.clock.Copy()
+	ins.At = b.fed.eng.Now()
+	if ins.Key == "" {
+		ins.Key = deriveKey(&ins)
+	}
+	c := ins
+	b.insights[ins.Key] = &c
+	b.fed.metrics.Counter("knowledge.added").Inc()
+
+	if b.fed.Shared {
+		b.fed.fabric.Publish(bus.PublishOpts{
+			From:        bus.Address{Site: b.site, Name: "knowledge"},
+			Topic:       "knowledge",
+			Payload:     &c,
+			Size:        300,
+			QoS:         bus.AtLeastOnce,
+			AckTimeout:  b.fed.AckTimeout,
+			MaxAttempts: b.fed.MaxAttempts,
+		})
+		b.fed.metrics.Counter("knowledge.published").Inc()
+	}
+}
+
+// AddObservation is the common case: a completed experiment.
+func (b *Base) AddObservation(domain string, p param.Point, value float64) {
+	b.Add(Insight{
+		Kind:   KindObservation,
+		Domain: domain,
+		Point:  p.Clone(),
+		Value:  value,
+		Key:    fmt.Sprintf("%s/obs/%s", domain, p.Key()),
+	})
+}
+
+func deriveKey(ins *Insight) string {
+	if ins.Point != nil {
+		return fmt.Sprintf("%s/%s/%s", ins.Domain, ins.Kind, ins.Point.Key())
+	}
+	return fmt.Sprintf("%s/%s/%s", ins.Domain, ins.Kind, ins.Note)
+}
+
+// merge folds a remote insight in under vector-clock causality: a remote
+// insight replaces a local one only if its clock dominates; concurrent
+// updates resolve deterministically by (value, source) so all sites agree.
+func (b *Base) merge(remote *Insight) {
+	// Receiving knowledge is itself a causal event.
+	for site, t := range remote.Clock {
+		if b.clock[site] < t {
+			b.clock[site] = t
+		}
+	}
+	cur, ok := b.insights[remote.Key]
+	if !ok {
+		c := *remote
+		b.insights[remote.Key] = &c
+		b.fed.metrics.Counter("knowledge.merged").Inc()
+		return
+	}
+	switch {
+	case remote.Clock.Dominates(cur.Clock):
+		c := *remote
+		b.insights[remote.Key] = &c
+		b.fed.metrics.Counter("knowledge.merged").Inc()
+	case cur.Clock.Dominates(remote.Clock):
+		// keep current
+	default:
+		// Concurrent: deterministic resolution, prefer higher value then
+		// lexicographically smaller source.
+		if remote.Value > cur.Value ||
+			(remote.Value == cur.Value && remote.Source < cur.Source) {
+			c := *remote
+			b.insights[remote.Key] = &c
+			b.fed.metrics.Counter("knowledge.conflicts").Inc()
+		}
+	}
+}
+
+// Size reports the number of insights held.
+func (b *Base) Size() int { return len(b.insights) }
+
+// Get fetches an insight by key.
+func (b *Base) Get(key string) (Insight, bool) {
+	ins, ok := b.insights[key]
+	if !ok {
+		return Insight{}, false
+	}
+	return *ins, true
+}
+
+// Observations returns all observations for a domain, sorted by key — the
+// transfer-learning feed for optimizers at this site.
+func (b *Base) Observations(domain string) (points []param.Point, values []float64) {
+	keys := make([]string, 0, len(b.insights))
+	for k, ins := range b.insights {
+		if ins.Kind == KindObservation && ins.Domain == domain {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ins := b.insights[k]
+		points = append(points, ins.Point.Clone())
+		values = append(values, ins.Value)
+	}
+	return points, values
+}
+
+// HasObservation reports whether this exact point was already run anywhere
+// in the federation's shared view — the redundancy check campaigns use to
+// skip duplicate experiments.
+func (b *Base) HasObservation(domain string, p param.Point) (float64, bool) {
+	key := fmt.Sprintf("%s/obs/%s", domain, p.Key())
+	ins, ok := b.insights[key]
+	if !ok || ins.Kind != KindObservation {
+		return 0, false
+	}
+	return ins.Value, true
+}
+
+// Converged reports whether every base holds the same key set.
+func (f *Federation) Converged() bool {
+	var ref map[string]bool
+	for _, b := range f.bases {
+		view := make(map[string]bool, len(b.insights))
+		for k := range b.insights {
+			view[k] = true
+		}
+		if ref == nil {
+			ref = view
+			continue
+		}
+		if len(ref) != len(view) {
+			return false
+		}
+		for k := range ref {
+			if !view[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

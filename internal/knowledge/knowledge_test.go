@@ -1,0 +1,180 @@
+package knowledge
+
+import (
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+var sites = []netsim.SiteID{"ornl", "anl", "slac"}
+
+func testFed(t *testing.T, shared bool) (*sim.Engine, *netsim.Network, *Federation) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, rng.New(6))
+	for _, s := range sites {
+		net.AddSite(s).Firewall.AllowAll()
+	}
+	net.FullMesh(sites, netsim.Link{Latency: 20 * sim.Millisecond})
+	fab := bus.NewFabric(net)
+	return eng, net, NewFederation(fab, sites, shared)
+}
+
+func pt(t float64) param.Point { return param.Point{"temperature": t, "ratio": 0.5} }
+
+func TestSharedPropagation(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	fed.Base("ornl").AddObservation("perovskite", pt(150), 0.8)
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		if v, ok := fed.Base(s).HasObservation("perovskite", pt(150)); !ok || v != 0.8 {
+			t.Fatalf("observation not visible at %s (ok=%v v=%v)", s, ok, v)
+		}
+	}
+	if !fed.Converged() {
+		t.Fatal("federation should be converged")
+	}
+}
+
+func TestIsolatedStaysLocal(t *testing.T) {
+	eng, _, fed := testFed(t, false)
+	fed.Base("ornl").AddObservation("perovskite", pt(150), 0.8)
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fed.Base("anl").HasObservation("perovskite", pt(150)); ok {
+		t.Fatal("isolated mode leaked knowledge")
+	}
+	if _, ok := fed.Base("ornl").HasObservation("perovskite", pt(150)); !ok {
+		t.Fatal("local observation missing")
+	}
+}
+
+func TestObservationsSortedAndDomainScoped(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	b := fed.Base("ornl")
+	b.AddObservation("perovskite", pt(150), 0.8)
+	b.AddObservation("perovskite", pt(120), 0.5)
+	b.AddObservation("alloy", param.Point{"frac_a": 0.5}, 9.0)
+	if err := eng.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	points, values := fed.Base("anl").Observations("perovskite")
+	if len(points) != 2 || len(values) != 2 {
+		t.Fatalf("got %d perovskite observations", len(points))
+	}
+	// Deterministic order (sorted by key).
+	a1, _ := fed.Base("slac").Observations("perovskite")
+	if a1[0].Key() != points[0].Key() {
+		t.Fatal("observation order differs across sites")
+	}
+}
+
+func TestVectorClockDominance(t *testing.T) {
+	a := VectorClock{"x": 2, "y": 1}
+	b := VectorClock{"x": 1, "y": 1}
+	if !a.Dominates(b) {
+		t.Fatal("a should dominate b")
+	}
+	if b.Dominates(a) {
+		t.Fatal("b should not dominate a")
+	}
+	c := VectorClock{"x": 1, "y": 2}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Fatal("concurrent clocks should not dominate each other")
+	}
+	if a.Dominates(a.Copy()) {
+		t.Fatal("equal clocks should not strictly dominate")
+	}
+}
+
+func TestNewerVersionWins(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	b := fed.Base("ornl")
+	b.AddObservation("perovskite", pt(150), 0.5)
+	if err := eng.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Re-measure the same point with a better instrument: same key, newer
+	// clock.
+	b.AddObservation("perovskite", pt(150), 0.82)
+	if err := eng.RunUntil(6 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := fed.Base("slac").HasObservation("perovskite", pt(150))
+	if !ok || v != 0.82 {
+		t.Fatalf("stale value at slac: %v", v)
+	}
+}
+
+func TestConcurrentUpdatesResolveDeterministically(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	// Two sites measure the same point before seeing each other's result.
+	fed.Base("ornl").AddObservation("perovskite", pt(150), 0.6)
+	fed.Base("anl").AddObservation("perovskite", pt(150), 0.7)
+	if err := eng.RunUntil(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := fed.Base("ornl").HasObservation("perovskite", pt(150))
+	if want != 0.7 {
+		t.Fatalf("conflict resolution picked %v, want 0.7 (higher value)", want)
+	}
+	for _, s := range sites {
+		v, _ := fed.Base(s).HasObservation("perovskite", pt(150))
+		if v != want {
+			t.Fatalf("sites disagree after conflict: %s has %v", s, v)
+		}
+	}
+}
+
+func TestPropagationSurvivesLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, rng.New(7))
+	for _, s := range sites {
+		net.AddSite(s).Firewall.AllowAll()
+	}
+	net.FullMesh(sites, netsim.Link{Latency: 20 * sim.Millisecond, Loss: 0.4})
+	fab := bus.NewFabric(net)
+	fed := NewFederation(fab, sites, true)
+	fed.AckTimeout = 200 * sim.Millisecond
+	fed.MaxAttempts = 12
+
+	for i := 0; i < 10; i++ {
+		fed.Base("ornl").AddObservation("perovskite", pt(100+float64(i)), float64(i)/10)
+	}
+	if err := eng.RunUntil(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		if n := fed.Base(s).Size(); n != 10 {
+			t.Fatalf("%s holds %d/10 insights despite at-least-once delivery", s, n)
+		}
+	}
+}
+
+func TestGetAndNotes(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	fed.Base("ornl").Add(Insight{
+		Kind: KindNote, Domain: "perovskite",
+		Note: "iodide-rich compositions unstable above 200C",
+	})
+	if err := eng.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := fed.Base("anl").Get("perovskite/note/iodide-rich compositions unstable above 200C")
+	if !ok {
+		t.Fatal("note not propagated")
+	}
+	if ins.Source != "ornl" {
+		t.Fatalf("source = %s", ins.Source)
+	}
+	if _, ok := fed.Base("anl").Get("nonexistent"); ok {
+		t.Fatal("phantom insight")
+	}
+}

@@ -1,0 +1,238 @@
+package llm
+
+import (
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+func intended() param.Point {
+	return param.Point{"temperature": 150, "halide_ratio": 0.5, "residence_s": 60, "ligand_mM": 15}
+}
+
+func TestProposeNoDefectIsExact(t *testing.T) {
+	o := NewOrchestrator(rng.New(1), nil)
+	o.DefectRate = 0
+	p := o.Propose(intended(), twin.Perovskite{}.Space(), "maximize plqy")
+	if !p.Correct() {
+		t.Fatalf("defect-free proposal incorrect: %+v", p)
+	}
+	if p.Latency != o.DecisionLatency {
+		t.Fatalf("latency = %v", p.Latency)
+	}
+	if p.Defect != DefectNone {
+		t.Fatalf("defect = %v", p.Defect)
+	}
+}
+
+func TestDefectRateWithoutVerifier(t *testing.T) {
+	o := NewOrchestrator(rng.New(2), nil)
+	o.DefectRate = 0.25
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := o.Propose(intended(), twin.Perovskite{}.Space(), "g")
+		if !p.Correct() {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.21 || rate > 0.29 {
+		t.Fatalf("unverified error rate = %v, want ~0.25", rate)
+	}
+}
+
+func TestVerifierRestoresCorrectness(t *testing.T) {
+	tw := twin.NewTwin(twin.Perovskite{}, twin.Noise{})
+	o := NewOrchestrator(rng.New(3), tw)
+	o.DefectRate = 0.25
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := o.Propose(intended(), twin.Perovskite{}.Space(), "g")
+		if !p.Correct() {
+			wrong++
+		}
+	}
+	rate := 1 - float64(wrong)/n
+	// M8 target: >95% correctness with verification.
+	if rate < 0.95 {
+		t.Fatalf("verified correctness = %v, want > 0.95", rate)
+	}
+	_, defects, _, caught := o.Stats()
+	if caught == 0 || defects == 0 {
+		t.Fatal("verifier never engaged")
+	}
+}
+
+func TestRepairCostsLatency(t *testing.T) {
+	tw := twin.NewTwin(twin.Perovskite{}, twin.Noise{})
+	o := NewOrchestrator(rng.New(4), tw)
+	o.DefectRate = 1.0     // always defective
+	o.SubtleFraction = 0.0 // always catchable
+	p := o.Propose(intended(), twin.Perovskite{}.Space(), "g")
+	if !p.Repaired {
+		t.Fatal("proposal not repaired")
+	}
+	if p.Latency <= o.DecisionLatency {
+		t.Fatalf("repair latency not charged: %v", p.Latency)
+	}
+}
+
+func TestSubtleDefectsEvadeBoundsVerifier(t *testing.T) {
+	tw := twin.NewTwin(twin.Perovskite{}, twin.Noise{})
+	o := NewOrchestrator(rng.New(5), tw)
+	o.Mode = VerifyBounds
+	o.DefectRate = 1.0
+	o.SubtleFraction = 1.0 // all defects in-range
+	evaded := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		p := o.Propose(intended(), twin.Perovskite{}.Space(), "g")
+		if !p.Correct() {
+			evaded++
+		}
+	}
+	if evaded < n/2 {
+		t.Fatalf("only %d/%d subtle defects evaded the bounds verifier; they should mostly pass", evaded, n)
+	}
+}
+
+func TestFullVerificationCatchesSubtleDefects(t *testing.T) {
+	tw := twin.NewTwin(twin.Perovskite{}, twin.Noise{})
+	o := NewOrchestrator(rng.New(5), tw) // VerifyFull by default
+	o.DefectRate = 1.0
+	o.SubtleFraction = 1.0
+	wrong := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		p := o.Propose(intended(), twin.Perovskite{}.Space(), "g")
+		if !p.Correct() {
+			wrong++
+		}
+	}
+	// The twin-prediction cross-check should catch the vast majority of
+	// in-range defects (those with a material effect on the objective).
+	if wrong > n/5 {
+		t.Fatalf("%d/%d subtle defects survived full verification", wrong, n)
+	}
+}
+
+func TestTraceGrounding(t *testing.T) {
+	o := NewOrchestrator(rng.New(6), nil)
+	o.DefectRate = 0
+	p := o.Propose(intended(), twin.Perovskite{}.Space(), "maximize plqy")
+	if !p.Trace.Grounded || p.Trace.Citations < 1 {
+		t.Fatalf("clean trace should be grounded with citations: %+v", p.Trace)
+	}
+	o.DefectRate = 1
+	o.SubtleFraction = 1
+	p2 := o.Propose(intended(), twin.Perovskite{}.Space(), "g")
+	if p2.Trace.Grounded {
+		t.Fatal("defective unverified trace should be ungrounded")
+	}
+}
+
+func TestApprovalModelPrefersGroundedTraces(t *testing.T) {
+	m := NewApprovalModel(rng.New(7))
+	good := Trace{Goal: "g", Steps: []string{"a", "b"}, Citations: 3, Grounded: true}
+	bad := Trace{Goal: "g", Steps: []string{"a"}, Citations: 0, Grounded: false}
+	goodApprovals, badApprovals := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if m.Approves(good) {
+			goodApprovals++
+		}
+		if m.Approves(bad) {
+			badApprovals++
+		}
+	}
+	goodRate := float64(goodApprovals) / n
+	badRate := float64(badApprovals) / n
+	if goodRate < 0.9 {
+		t.Fatalf("grounded trace approval = %v, want > 0.9 (M9)", goodRate)
+	}
+	if badRate > 0.5 {
+		t.Fatalf("ungrounded trace approval = %v, should be low", badRate)
+	}
+}
+
+func TestHumanDecisionLatencyWorkingHours(t *testing.T) {
+	h := NewHuman(rng.New(8))
+	// Day 0 (Monday) 10:00: decision completes same day or later, but the
+	// completion instant must fall within working hours.
+	for i := 0; i < 500; i++ {
+		start := sim.Time(i%5)*sim.Day + 10*sim.Hour
+		lat := h.DecisionLatency(start)
+		if lat < 20*sim.Minute {
+			t.Fatalf("decision faster than the minimum: %v", lat)
+		}
+		done := start + lat
+		hour := int((done % sim.Day) / sim.Hour)
+		weekday := int(done/sim.Day) % 7
+		if hour < h.WorkdayStart || hour >= h.WorkdayEnd {
+			t.Fatalf("decision completed at hour %d, outside working hours", hour)
+		}
+		if h.Weekends && weekday >= 5 {
+			t.Fatalf("decision completed on weekend day %d", weekday)
+		}
+	}
+}
+
+func TestHumanNightDecisionRollsToMorning(t *testing.T) {
+	h := NewHuman(rng.New(9))
+	// Friday 16:55: a >5 minute decision must roll to Monday morning.
+	start := 4*sim.Day + 16*sim.Hour + 55*sim.Minute
+	lat := h.DecisionLatency(start)
+	done := start + lat
+	if done < 7*sim.Day+9*sim.Hour {
+		t.Fatalf("Friday-evening decision completed at %v, want Monday morning", done)
+	}
+}
+
+func TestHumanIsMuchSlowerThanAgent(t *testing.T) {
+	h := NewHuman(rng.New(10))
+	o := NewOrchestrator(rng.New(10), nil)
+	var humanTotal, agentTotal sim.Time
+	now := 9 * sim.Hour // Monday 9am
+	for i := 0; i < 100; i++ {
+		humanTotal += h.DecisionLatency(now + sim.Time(i)*sim.Hour%8*sim.Hour)
+		agentTotal += o.Propose(intended(), twin.Perovskite{}.Space(), "g").Latency
+	}
+	if humanTotal < 20*agentTotal {
+		t.Fatalf("human/agent latency ratio = %v, expected >> 20", float64(humanTotal)/float64(agentTotal))
+	}
+}
+
+func TestHumanProposeMostlyCorrect(t *testing.T) {
+	h := NewHuman(rng.New(11))
+	wrong := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p := h.Propose(intended(), twin.Perovskite{}.Space(), 10*sim.Hour, "g")
+		if !p.Correct() {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate > 0.04 {
+		t.Fatalf("human error rate = %v, want ~0.02", rate)
+	}
+}
+
+func TestProposalCorrectDetectsMismatch(t *testing.T) {
+	p := Proposal{
+		Intended: param.Point{"x": 1},
+		Emitted:  param.Point{"x": 1.5},
+	}
+	if p.Correct() {
+		t.Fatal("mismatch not detected")
+	}
+	p2 := Proposal{Intended: param.Point{"x": 1}, Emitted: param.Point{}}
+	if p2.Correct() {
+		t.Fatal("missing key not detected")
+	}
+}

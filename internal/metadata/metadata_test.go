@@ -1,0 +1,132 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+var allDomains = []Domain{DomainMaterials, DomainChemistry, DomainBiology}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(rng.New(1)).Generate(DomainChemistry, 0)
+	b := NewGenerator(rng.New(1)).Generate(DomainChemistry, 0)
+	if a.Text != b.Text {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestGeneratorTruthEmbedded(t *testing.T) {
+	g := NewGenerator(rng.New(2))
+	for _, d := range allDomains {
+		doc := g.Generate(d, 7)
+		if doc.Truth.SampleID == "" || doc.Truth.Instrument == "" {
+			t.Fatalf("%s: incomplete truth %+v", d, doc.Truth)
+		}
+		if !strings.Contains(doc.Text, doc.Truth.SampleID) {
+			t.Fatalf("%s: text missing sample ID", d)
+		}
+		if len(doc.Truth.Params) == 0 {
+			t.Fatalf("%s: truth has no params", d)
+		}
+	}
+}
+
+func TestAnnotatorExtractsCleanDocument(t *testing.T) {
+	text := "=== XRD-01 diffraction log ===\n" +
+		"sample: S-1042 loaded by j.chen\n" +
+		"stage temperature set to 150.0 C\n" +
+		"scan rate 2.50 deg/min, 2theta 10-80\n"
+	a := &Annotator{}
+	got := a.Annotate(DomainMaterials, text)
+	if got.SampleID != "S-1042" {
+		t.Fatalf("sample = %q", got.SampleID)
+	}
+	if got.Instrument != "XRD-01" {
+		t.Fatalf("instrument = %q", got.Instrument)
+	}
+	if got.Operator != "j.chen" {
+		t.Fatalf("operator = %q", got.Operator)
+	}
+	if got.Params["temperature"] != 150.0 {
+		t.Fatalf("temperature = %v", got.Params["temperature"])
+	}
+	if got.Params["scan_rate"] != 2.5 {
+		t.Fatalf("scan_rate = %v", got.Params["scan_rate"])
+	}
+}
+
+func TestAnnotatorKelvinNormalization(t *testing.T) {
+	text := "reactor held at 423.15 K, residence time 30 min\n"
+	got := (&Annotator{}).Annotate(DomainChemistry, text)
+	if v := got.Params["temperature"]; v < 149.9 || v > 150.1 {
+		t.Fatalf("temperature = %v, want 150 C from 423.15 K", v)
+	}
+	if got.Params["residence_time"] != 30 {
+		t.Fatalf("residence = %v", got.Params["residence_time"])
+	}
+}
+
+func TestAnnotatorTimeUnits(t *testing.T) {
+	a := &Annotator{}
+	if v := a.Annotate(DomainChemistry, "residence time 2.00 h").Params["residence_time"]; v != 120 {
+		t.Fatalf("hours: %v", v)
+	}
+	if v := a.Annotate(DomainChemistry, "residence time 90 s").Params["residence_time"]; v != 1.5 {
+		t.Fatalf("seconds: %v", v)
+	}
+}
+
+func TestAnnotatorIgnoresDistractors(t *testing.T) {
+	text := "NOTE: please remember the group meeting moved to 3pm\n" +
+		"specimen S-1001 | analyst m.okafor\n" +
+		"incubated at 37.0°C for 120 min\n"
+	got := (&Annotator{}).Annotate(DomainBiology, text)
+	if got.SampleID != "S-1001" || got.Params["temperature"] != 37 {
+		t.Fatalf("extraction disturbed by distractor: %+v", got)
+	}
+}
+
+func TestEvaluateHighAccuracyAcrossDomains(t *testing.T) {
+	g := NewGenerator(rng.New(7))
+	corpus := g.Corpus(allDomains, 300)
+	rep := Evaluate(&Annotator{}, corpus)
+	if rep.Documents != 300 {
+		t.Fatalf("documents = %d", rep.Documents)
+	}
+	if rep.Accuracy() < 0.9 {
+		t.Fatalf("overall accuracy = %.3f, want >= 0.9 (M5 'high accuracy')", rep.Accuracy())
+	}
+	for _, d := range allDomains {
+		ds := rep.ByDomain[d]
+		if ds == nil || ds.Fields == 0 {
+			t.Fatalf("domain %s not scored", d)
+		}
+		if ds.Accuracy() < 0.85 {
+			t.Fatalf("domain %s accuracy = %.3f", d, ds.Accuracy())
+		}
+	}
+}
+
+func TestEvaluateCountsMissingAndWrong(t *testing.T) {
+	doc := Document{
+		Domain: DomainMaterials,
+		Text:   "garbage text with no structure",
+		Truth: Truth{SampleID: "S-1000", Instrument: "XRD-01", Operator: "j.chen",
+			Params: map[string]float64{"temperature": 100}},
+	}
+	rep := Evaluate(&Annotator{}, []Document{doc})
+	if rep.Correct != 0 {
+		t.Fatalf("correct = %d on garbage input", rep.Correct)
+	}
+	if rep.Missing != rep.Fields {
+		t.Fatalf("missing = %d, fields = %d", rep.Missing, rep.Fields)
+	}
+}
+
+func TestFieldReportEmpty(t *testing.T) {
+	if (FieldReport{}).Accuracy() != 1 {
+		t.Fatal("empty report should score 1")
+	}
+}

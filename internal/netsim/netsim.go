@@ -1,0 +1,317 @@
+// Package netsim models the multi-institutional wide-area network that
+// AISLE agents communicate over: sites (institutions) joined by links with
+// propagation latency, serialization bandwidth, jitter, and loss; per-site
+// firewall policy; and fault injection (link failures, partitions).
+//
+// The model is intentionally at message granularity, not packet granularity:
+// the paper's claims (M10-M12) concern protocol behaviour — retries, failover,
+// discovery convergence — under WAN conditions, which message-level latency
+// and loss reproduce. Each link serializes transfers FIFO, so sustained load
+// produces realistic queueing delay.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// SiteID names an institution in the federation.
+type SiteID string
+
+// Errors reported by Send.
+var (
+	ErrUnknownSite = errors.New("netsim: unknown site")
+	ErrNoRoute     = errors.New("netsim: no route between sites")
+	ErrLinkDown    = errors.New("netsim: link down")
+	ErrFirewall    = errors.New("netsim: blocked by firewall")
+)
+
+// Link describes the connection between two sites. Links are symmetric:
+// the same parameters apply in both directions, but each direction has its
+// own serialization queue.
+type Link struct {
+	Latency   sim.Time // one-way propagation delay
+	Jitter    sim.Time // stddev of normal jitter added to latency
+	Bandwidth float64  // bytes per second; <=0 means infinite
+	Loss      float64  // independent message loss probability [0,1)
+
+	up bool
+	// busyUntil tracks FIFO serialization per direction, keyed 0/1 by
+	// direction (a->b / b->a).
+	busyUntil [2]sim.Time
+}
+
+// Up reports whether the link is currently passing traffic.
+func (l *Link) Up() bool { return l.up }
+
+// Rule is a firewall ingress rule: traffic from From for the named service
+// is admitted. Empty From or Service acts as a wildcard.
+type Rule struct {
+	From    SiteID
+	Service string
+}
+
+// Firewall is a default-deny ingress policy for one site.
+type Firewall struct {
+	allowAll bool
+	rules    []Rule
+}
+
+// AllowAll opens the firewall entirely (used for trusted testbeds).
+func (f *Firewall) AllowAll() { f.allowAll = true }
+
+// Allow appends an ingress rule.
+func (f *Firewall) Allow(r Rule) { f.rules = append(f.rules, r) }
+
+// Admits reports whether a message from the given site for the given
+// service passes the policy.
+func (f *Firewall) Admits(from SiteID, service string) bool {
+	if f == nil || f.allowAll {
+		return true
+	}
+	for _, r := range f.rules {
+		if (r.From == "" || r.From == from) && (r.Service == "" || r.Service == service) {
+			return true
+		}
+	}
+	return false
+}
+
+// Site is one institution on the network.
+type Site struct {
+	ID       SiteID
+	Firewall *Firewall
+	// LANLatency is the intra-site delivery delay (loopback messages).
+	LANLatency sim.Time
+}
+
+type linkKey struct{ a, b SiteID }
+
+func keyFor(a, b SiteID) (linkKey, int) {
+	if a <= b {
+		return linkKey{a, b}, 0
+	}
+	return linkKey{b, a}, 1
+}
+
+// Network is the federation-wide WAN model. Create with New, add sites and
+// links, then Send messages. All timing runs on the supplied sim.Engine.
+type Network struct {
+	eng     *sim.Engine
+	rnd     *rng.Stream
+	sites   map[SiteID]*Site
+	links   map[linkKey]*Link
+	metrics *telemetry.Registry
+}
+
+// New returns an empty network bound to the engine and random stream.
+func New(eng *sim.Engine, rnd *rng.Stream) *Network {
+	return &Network{
+		eng:     eng,
+		rnd:     rnd.Fork("netsim"),
+		sites:   make(map[SiteID]*Site),
+		links:   make(map[linkKey]*Link),
+		metrics: telemetry.NewRegistry(),
+	}
+}
+
+// Engine exposes the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Metrics exposes the network's telemetry registry.
+func (n *Network) Metrics() *telemetry.Registry { return n.metrics }
+
+// AddSite registers a site. Adding a duplicate ID panics: topology is
+// program-defined, so a duplicate is a programming error.
+func (n *Network) AddSite(id SiteID) *Site {
+	if _, ok := n.sites[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate site %q", id))
+	}
+	s := &Site{ID: id, Firewall: &Firewall{}, LANLatency: 200 * sim.Microsecond}
+	n.sites[id] = s
+	return s
+}
+
+// Site returns the named site, or nil.
+func (n *Network) Site(id SiteID) *Site { return n.sites[id] }
+
+// Sites returns all site IDs in sorted order.
+func (n *Network) Sites() []SiteID {
+	ids := make([]SiteID, 0, len(n.sites))
+	for id := range n.sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Connect joins two sites with a link. Reconnecting replaces the link.
+func (n *Network) Connect(a, b SiteID, l Link) *Link {
+	if _, ok := n.sites[a]; !ok {
+		panic(fmt.Sprintf("netsim: connect unknown site %q", a))
+	}
+	if _, ok := n.sites[b]; !ok {
+		panic(fmt.Sprintf("netsim: connect unknown site %q", b))
+	}
+	if a == b {
+		panic("netsim: self-link")
+	}
+	l.up = true
+	k, _ := keyFor(a, b)
+	lp := &l
+	n.links[k] = lp
+	return lp
+}
+
+// LinkBetween returns the link joining a and b, or nil.
+func (n *Network) LinkBetween(a, b SiteID) *Link {
+	k, _ := keyFor(a, b)
+	return n.links[k]
+}
+
+// SetLinkUp injects a link failure (up=false) or repair (up=true).
+func (n *Network) SetLinkUp(a, b SiteID, up bool) {
+	if l := n.LinkBetween(a, b); l != nil {
+		l.up = up
+	}
+}
+
+// Partition takes down every link between the two groups, simulating a
+// network partition. Heal restores them.
+func (n *Network) Partition(groupA, groupB []SiteID) {
+	n.setGroupLinks(groupA, groupB, false)
+}
+
+// Heal restores links between the two groups.
+func (n *Network) Heal(groupA, groupB []SiteID) {
+	n.setGroupLinks(groupA, groupB, true)
+}
+
+func (n *Network) setGroupLinks(groupA, groupB []SiteID, up bool) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.SetLinkUp(a, b, up)
+		}
+	}
+}
+
+// Message is one network-level datagram. Payload is opaque to the network.
+type Message struct {
+	From    SiteID
+	To      SiteID
+	Service string // firewall service label (e.g. "bus", "discovery")
+	Size    int    // bytes, used for serialization delay
+	Payload any
+}
+
+// Send schedules delivery of msg; deliver runs at the arrival instant.
+// It returns an error synchronously when the message cannot be admitted
+// (unknown site, no route, link down, firewall). Loss is silent: the message
+// is accepted and then dropped, exactly as a WAN behaves — callers recover
+// with timeouts and retries.
+func (n *Network) Send(msg Message, deliver func(Message)) error {
+	src, ok := n.sites[msg.From]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSite, msg.From)
+	}
+	_ = src
+	dst, ok := n.sites[msg.To]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSite, msg.To)
+	}
+
+	n.metrics.Counter("net.sent").Inc()
+	n.metrics.Counter("net.bytes_sent").Add(int64(msg.Size))
+
+	// Loopback: LAN latency only, no firewall (intra-site traffic).
+	if msg.From == msg.To {
+		n.eng.Schedule(dst.LANLatency, func() { deliver(msg) })
+		n.metrics.Counter("net.delivered").Inc()
+		return nil
+	}
+
+	if !dst.Firewall.Admits(msg.From, msg.Service) {
+		n.metrics.Counter("net.firewalled").Inc()
+		return fmt.Errorf("%w: %s -> %s service %q", ErrFirewall, msg.From, msg.To, msg.Service)
+	}
+
+	k, dir := keyFor(msg.From, msg.To)
+	link := n.links[k]
+	if link == nil {
+		return fmt.Errorf("%w: %s <-> %s", ErrNoRoute, msg.From, msg.To)
+	}
+	if !link.up {
+		n.metrics.Counter("net.link_down_drops").Inc()
+		return fmt.Errorf("%w: %s <-> %s", ErrLinkDown, msg.From, msg.To)
+	}
+
+	if link.Loss > 0 && n.rnd.Bool(link.Loss) {
+		// Accepted then lost in flight.
+		n.metrics.Counter("net.lost").Inc()
+		return nil
+	}
+
+	delay := n.transferDelay(link, dir, msg.Size)
+	n.metrics.Histogram("net.delay_s").Observe(delay.Seconds())
+	n.eng.Schedule(delay, func() { deliver(msg) })
+	n.metrics.Counter("net.delivered").Inc()
+	return nil
+}
+
+// transferDelay computes FIFO serialization + propagation + jitter for one
+// message, advancing the link's busy horizon.
+func (n *Network) transferDelay(l *Link, dir int, size int) sim.Time {
+	now := n.eng.Now()
+	start := now
+	if l.busyUntil[dir] > start {
+		start = l.busyUntil[dir]
+	}
+	var tx sim.Time
+	if l.Bandwidth > 0 && size > 0 {
+		tx = sim.Time(float64(size) / l.Bandwidth * float64(sim.Second))
+	}
+	l.busyUntil[dir] = start + tx
+
+	lat := l.Latency
+	if l.Jitter > 0 {
+		j := n.rnd.Normal(0, float64(l.Jitter))
+		lat += sim.Time(j)
+		if lat < 0 {
+			lat = 0
+		}
+	}
+	return (start - now) + tx + lat
+}
+
+// Reachable reports whether a message could currently travel a->b for the
+// given service (route exists, link up, firewall admits). It does not
+// account for loss.
+func (n *Network) Reachable(a, b SiteID, service string) bool {
+	if a == b {
+		return true
+	}
+	dst, ok := n.sites[b]
+	if !ok {
+		return false
+	}
+	if !dst.Firewall.Admits(a, service) {
+		return false
+	}
+	l := n.LinkBetween(a, b)
+	return l != nil && l.up
+}
+
+// FullMesh connects every pair of the given sites with copies of the
+// template link — the common testbed topology in experiments.
+func (n *Network) FullMesh(sites []SiteID, template Link) {
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			n.Connect(sites[i], sites[j], template)
+		}
+	}
+}

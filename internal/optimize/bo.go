@@ -1,0 +1,364 @@
+package optimize
+
+import (
+	"math"
+
+	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+// Optimizer is the ask/tell protocol campaigns drive: Ask proposes the next
+// parameter point; Tell reports its measured objective (maximization).
+type Optimizer interface {
+	Ask() param.Point
+	Tell(p param.Point, value float64)
+	Best() (param.Point, float64)
+	N() int
+}
+
+// Observation is one completed experiment.
+type Observation struct {
+	Point param.Point
+	Value float64
+	// Weight < 1 marks transferred observations from other facilities,
+	// modelled as noisier evidence.
+	Weight float64
+}
+
+// Acquisition selects the BO acquisition function.
+type Acquisition int
+
+// Acquisition choices.
+const (
+	AcqEI Acquisition = iota
+	AcqUCB
+)
+
+// BayesOpts configures a Bayesian optimizer.
+type BayesOpts struct {
+	// InitSamples is the Latin-hypercube warm-up before the GP engages.
+	// Default max(5, dims+2).
+	InitSamples int
+	// Candidates is the random candidate pool per Ask. Default 512.
+	Candidates int
+	// LocalCandidates perturb the incumbent. Default 64.
+	LocalCandidates int
+	// Acq selects the acquisition function. Default EI.
+	Acq Acquisition
+	// UCBBeta is the exploration weight for AcqUCB. Default 2.
+	UCBBeta float64
+	// XI is the EI exploration margin. Default 0.01.
+	XI float64
+	// Kernel overrides the default Matérn-5/2.
+	Kernel Kernel
+	// Noise is the GP observation-noise variance. Default 1e-4.
+	Noise float64
+	// MaxFit bounds the GP training-set size; older observations beyond the
+	// bound are dropped (keeps O(n^3) fits tractable in long campaigns).
+	// Default 256.
+	MaxFit int
+}
+
+func (o *BayesOpts) defaults(dims int) {
+	if o.InitSamples == 0 {
+		o.InitSamples = dims + 2
+		if o.InitSamples < 5 {
+			o.InitSamples = 5
+		}
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 512
+	}
+	if o.LocalCandidates == 0 {
+		o.LocalCandidates = 64
+	}
+	if o.UCBBeta == 0 {
+		o.UCBBeta = 2
+	}
+	if o.XI == 0 {
+		o.XI = 0.01
+	}
+	if o.Kernel == nil {
+		o.Kernel = defaultKernel(dims)
+	}
+	if o.Noise == 0 {
+		o.Noise = 1e-4
+	}
+	if o.MaxFit == 0 {
+		o.MaxFit = 256
+	}
+}
+
+// Bayes is a Gaussian-process Bayesian optimizer with native support for
+// discrete-continuous spaces: candidates are snapped to parameter lattices
+// before scoring, the nested strategy the paper describes for real
+// experimental hardware.
+type Bayes struct {
+	space param.Space
+	rnd   *rng.Stream
+	opts  BayesOpts
+
+	obs      []Observation
+	initPlan []param.Point
+	gp       *GP
+	stale    bool
+
+	bestP param.Point
+	bestV float64
+}
+
+// NewBayes builds a Bayesian optimizer over the space.
+func NewBayes(space param.Space, rnd *rng.Stream, opts BayesOpts) *Bayes {
+	opts.defaults(len(space))
+	b := &Bayes{
+		space: space,
+		rnd:   rnd.Fork("bayes"),
+		opts:  opts,
+		gp:    NewGP(opts.Kernel, opts.Noise),
+		bestV: math.Inf(-1),
+	}
+	b.initPlan = space.SampleLHS(b.rnd, opts.InitSamples)
+	return b
+}
+
+// N implements Optimizer.
+func (b *Bayes) N() int { return len(b.obs) }
+
+// Best implements Optimizer.
+func (b *Bayes) Best() (param.Point, float64) { return b.bestP, b.bestV }
+
+// Seed imports observations from another facility (transfer learning).
+// weight in (0,1] down-weights foreign evidence by inflating its noise.
+func (b *Bayes) Seed(points []param.Point, values []float64, weight float64) {
+	if weight <= 0 || weight > 1 {
+		weight = 0.5
+	}
+	for i := range points {
+		b.obs = append(b.obs, Observation{Point: points[i].Clone(), Value: values[i], Weight: weight})
+		if values[i] > b.bestV {
+			// Transferred best still counts as knowledge, but campaigns
+			// track their own locally-confirmed best; we update bestP only
+			// on local Tell. Stored here for the surrogate only.
+			_ = i
+		}
+	}
+	b.stale = true
+	// Seeding replaces part of the LHS warm-up: each seeded point removes
+	// one pending init sample.
+	drop := len(points)
+	if drop > len(b.initPlan) {
+		drop = len(b.initPlan)
+	}
+	b.initPlan = b.initPlan[drop:]
+}
+
+// Tell implements Optimizer.
+func (b *Bayes) Tell(p param.Point, value float64) {
+	b.obs = append(b.obs, Observation{Point: p.Clone(), Value: value, Weight: 1})
+	if value > b.bestV {
+		b.bestV = value
+		b.bestP = p.Clone()
+	}
+	b.stale = true
+}
+
+// Ask implements Optimizer.
+func (b *Bayes) Ask() param.Point {
+	if len(b.initPlan) > 0 {
+		p := b.initPlan[0]
+		b.initPlan = b.initPlan[1:]
+		return p
+	}
+	if len(b.obs) == 0 {
+		return b.space.Sample(b.rnd)
+	}
+	b.refit()
+
+	best := b.bestV
+	if math.IsInf(best, -1) {
+		// Only transferred observations so far: use their max.
+		for _, o := range b.obs {
+			if o.Value > best {
+				best = o.Value
+			}
+		}
+	}
+
+	var bestCand param.Point
+	bestScore := math.Inf(-1)
+	consider := func(p param.Point) {
+		u := b.space.ToUnit(p)
+		mu, v := b.gp.Predict(u)
+		var score float64
+		if b.opts.Acq == AcqUCB {
+			score = UCB(mu, v, b.opts.UCBBeta)
+		} else {
+			score = ExpectedImprovement(mu, v, best, b.opts.XI)
+		}
+		if score > bestScore {
+			bestScore = score
+			bestCand = p
+		}
+	}
+
+	for i := 0; i < b.opts.Candidates; i++ {
+		consider(b.space.Sample(b.rnd))
+	}
+	// Local refinement around the incumbent.
+	if b.bestP != nil {
+		for i := 0; i < b.opts.LocalCandidates; i++ {
+			consider(b.perturb(b.bestP))
+		}
+	}
+	if bestCand == nil {
+		return b.space.Sample(b.rnd)
+	}
+	return bestCand
+}
+
+// perturb samples near p with per-dimension Gaussian steps (10% of range),
+// snapped onto lattices.
+func (b *Bayes) perturb(p param.Point) param.Point {
+	out := make(param.Point, len(b.space))
+	for _, d := range b.space {
+		sigma := (d.Hi - d.Lo) * 0.1
+		out[d.Name] = d.Snap(p[d.Name] + b.rnd.Normal(0, sigma))
+	}
+	return out
+}
+
+// refit rebuilds the GP if observations changed, with per-observation noise
+// realized by duplicating the noise through weights (foreign observations
+// get inflated noise by scaling their target toward the mean — a standard
+// cheap approximation that avoids heteroscedastic solvers).
+func (b *Bayes) refit() {
+	if !b.stale {
+		return
+	}
+	b.stale = false
+
+	obs := b.obs
+	if len(obs) > b.opts.MaxFit {
+		obs = obs[len(obs)-b.opts.MaxFit:]
+	}
+	xs := make([][]float64, len(obs))
+	ys := make([]float64, len(obs))
+	for i, o := range obs {
+		xs[i] = b.space.ToUnit(o.Point)
+		ys[i] = o.Value
+	}
+	// Weighted observations: shrink foreign targets toward the local mean
+	// proportionally to (1-weight).
+	var localSum float64
+	var localN int
+	for _, o := range obs {
+		if o.Weight >= 1 {
+			localSum += o.Value
+			localN++
+		}
+	}
+	if localN > 0 {
+		mean := localSum / float64(localN)
+		for i, o := range obs {
+			if o.Weight < 1 {
+				ys[i] = mean + (o.Value-mean)*o.Weight/(1.0)
+			}
+		}
+	}
+	// Fit errors (degenerate duplicates) fall back to pure exploration by
+	// clearing the model.
+	if err := b.gp.Fit(xs, ys); err != nil {
+		b.gp = NewGP(b.opts.Kernel, b.opts.Noise*10)
+	}
+}
+
+// Random is the uniform-sampling baseline.
+type Random struct {
+	space param.Space
+	rnd   *rng.Stream
+	n     int
+	bestP param.Point
+	bestV float64
+}
+
+// NewRandom builds the random-search baseline.
+func NewRandom(space param.Space, rnd *rng.Stream) *Random {
+	return &Random{space: space, rnd: rnd.Fork("random"), bestV: math.Inf(-1)}
+}
+
+// Ask implements Optimizer.
+func (r *Random) Ask() param.Point { return r.space.Sample(r.rnd) }
+
+// Tell implements Optimizer.
+func (r *Random) Tell(p param.Point, v float64) {
+	r.n++
+	if v > r.bestV {
+		r.bestV = v
+		r.bestP = p.Clone()
+	}
+}
+
+// Best implements Optimizer.
+func (r *Random) Best() (param.Point, float64) { return r.bestP, r.bestV }
+
+// N implements Optimizer.
+func (r *Random) N() int { return r.n }
+
+// Grid sweeps a fixed lattice: Levels points per dimension, row-major. The
+// classical high-throughput strategy the paper contrasts with AI-driven
+// search.
+type Grid struct {
+	space  param.Space
+	levels int
+	idx    int
+	n      int
+	bestP  param.Point
+	bestV  float64
+}
+
+// NewGrid builds a grid search with the given per-dimension level count.
+func NewGrid(space param.Space, levels int) *Grid {
+	if levels < 2 {
+		levels = 2
+	}
+	return &Grid{space: space, levels: levels, bestV: math.Inf(-1)}
+}
+
+// Ask implements Optimizer. When the lattice is exhausted it restarts with
+// a phase shift, so Ask never runs dry.
+func (g *Grid) Ask() param.Point {
+	dims := len(g.space)
+	total := 1
+	for i := 0; i < dims; i++ {
+		total *= g.levels
+	}
+	i := g.idx % total
+	pass := g.idx / total
+	g.idx++
+	p := make(param.Point, dims)
+	for _, d := range g.space {
+		level := i % g.levels
+		i /= g.levels
+		frac := (float64(level) + 0.5*float64(pass%2)) / float64(g.levels-1)
+		if frac > 1 {
+			frac = 1
+		}
+		p[d.Name] = d.Snap(d.Lo + frac*(d.Hi-d.Lo))
+	}
+	return p
+}
+
+// Tell implements Optimizer.
+func (g *Grid) Tell(p param.Point, v float64) {
+	g.n++
+	if v > g.bestV {
+		g.bestV = v
+		g.bestP = p.Clone()
+	}
+}
+
+// Best implements Optimizer.
+func (g *Grid) Best() (param.Point, float64) { return g.bestP, g.bestV }
+
+// N implements Optimizer.
+func (g *Grid) N() int { return g.n }

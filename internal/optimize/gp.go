@@ -1,0 +1,281 @@
+// Package optimize implements the decision-making methods the paper's
+// orchestration layer coordinates (dimension 3): Gaussian-process surrogate
+// models, Bayesian optimisation with expected-improvement and UCB
+// acquisitions, nested discrete-continuous search (the Smart Dope strategy),
+// random and grid baselines, and cross-facility transfer seeding — the
+// mechanism behind milestone M9's "reduce required experiments by >30%".
+//
+// All optimizers follow the ask/tell protocol so campaign engines control
+// execution: Ask proposes the next experiment, Tell reports its measured
+// objective.
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// Kernel is a positive-definite covariance function on unit-cube vectors.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+}
+
+// RBF is the squared-exponential kernel with shared length scale.
+type RBF struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return k.Variance * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
+}
+
+// Matern52 is the Matérn 5/2 kernel, the default for physical response
+// surfaces (twice-differentiable but less smooth than RBF).
+type Matern52 struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k Matern52) Eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	r := math.Sqrt(d2) / k.LengthScale
+	s5 := math.Sqrt(5) * r
+	return k.Variance * (1 + s5 + 5*r*r/3) * math.Exp(-s5)
+}
+
+// ErrNotPD is returned when the covariance matrix cannot be factorized even
+// with jitter, typically from duplicate points with zero noise.
+var ErrNotPD = errors.New("optimize: covariance matrix not positive definite")
+
+// GP is a Gaussian-process regressor over unit-cube inputs. Targets are
+// standardized internally; predictions are returned on the original scale.
+type GP struct {
+	Kernel Kernel
+	// Noise is the observation noise variance (on standardized targets).
+	Noise float64
+
+	xs   [][]float64
+	ys   []float64
+	mean float64
+	std  float64
+
+	chol  [][]float64 // lower-triangular factor of K + noise*I
+	alpha []float64   // chol solve of standardized targets
+}
+
+// NewGP returns a GP with the given kernel and noise variance.
+func NewGP(k Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = 1e-6
+	}
+	return &GP{Kernel: k, Noise: noise}
+}
+
+// N reports the number of observations.
+func (g *GP) N() int { return len(g.xs) }
+
+// Fit replaces the training set and factorizes the covariance.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		panic("optimize: xs/ys length mismatch")
+	}
+	g.xs = xs
+	g.ys = ys
+	n := len(xs)
+	if n == 0 {
+		g.chol, g.alpha = nil, nil
+		return nil
+	}
+
+	// Standardize targets.
+	var sum float64
+	for _, y := range ys {
+		sum += y
+	}
+	g.mean = sum / float64(n)
+	var ss float64
+	for _, y := range ys {
+		d := y - g.mean
+		ss += d * d
+	}
+	g.std = math.Sqrt(ss / float64(n))
+	if g.std < 1e-12 {
+		g.std = 1
+	}
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.Kernel.Eval(xs[i], xs[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += g.Noise
+	}
+
+	chol, err := cholesky(k)
+	if err != nil {
+		return err
+	}
+	g.chol = chol
+
+	z := make([]float64, n)
+	for i, y := range ys {
+		z[i] = (y - g.mean) / g.std
+	}
+	g.alpha = cholSolve(chol, z)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if len(g.xs) == 0 {
+		return 0, 1
+	}
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i := range g.xs {
+		kstar[i] = g.Kernel.Eval(x, g.xs[i])
+	}
+	var mu float64
+	for i := range kstar {
+		mu += kstar[i] * g.alpha[i]
+	}
+	// v = L^{-1} k*; var = k(x,x) - v.v
+	v := forwardSolve(g.chol, kstar)
+	var vv float64
+	for _, t := range v {
+		vv += t * t
+	}
+	kxx := g.Kernel.Eval(x, x)
+	variance = kxx - vv
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	// De-standardize.
+	return g.mean + g.std*mu, variance * g.std * g.std
+}
+
+// cholesky computes the lower-triangular factor with escalating jitter.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	jitter := 0.0
+	for try := 0; try < 6; try++ {
+		l := make([][]float64, n)
+		for i := range l {
+			l[i] = make([]float64, i+1)
+		}
+		ok := true
+	outer:
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				s := a[i][j]
+				if i == j {
+					s += jitter
+				}
+				for k := 0; k < j; k++ {
+					s -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if s <= 0 {
+						ok = false
+						break outer
+					}
+					l[i][i] = math.Sqrt(s)
+				} else {
+					l[i][j] = s / l[j][j]
+				}
+			}
+		}
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrNotPD
+}
+
+// forwardSolve solves L y = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i][k] * y[k]
+		}
+		y[i] = s / l[i][i]
+	}
+	return y
+}
+
+// backSolve solves L^T x = y.
+func backSolve(l [][]float64, y []float64) []float64 {
+	n := len(l)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k][i] * x[k]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x
+}
+
+// cholSolve solves (L L^T) x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	return backSolve(l, forwardSolve(l, b))
+}
+
+// normPDF/normCDF for expected improvement.
+func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// ExpectedImprovement scores a candidate under the GP posterior against the
+// current best observation (maximization).
+func ExpectedImprovement(mean, variance, best, xi float64) float64 {
+	sd := math.Sqrt(variance)
+	if sd < 1e-12 {
+		return 0
+	}
+	z := (mean - best - xi) / sd
+	return (mean-best-xi)*normCDF(z) + sd*normPDF(z)
+}
+
+// UCB scores a candidate with an upper confidence bound.
+func UCB(mean, variance, beta float64) float64 {
+	return mean + beta*math.Sqrt(variance)
+}
+
+// unitCopy makes a defensive copy of a unit vector.
+func unitCopy(u []float64) []float64 {
+	c := make([]float64, len(u))
+	copy(c, u)
+	return c
+}
+
+// defaultKernel builds the default surrogate kernel for a dimensionality.
+func defaultKernel(dims int) Kernel {
+	// Length scale shrinks slowly with dimension so high-d spaces keep
+	// useful correlation.
+	return Matern52{LengthScale: 0.35 * math.Pow(float64(dims), 0.25), Variance: 1}
+}

@@ -1,0 +1,131 @@
+// Package rl provides the reinforcement-learning schedulers the paper lists
+// among the specialized techniques LLM agents orchestrate: a UCB1 bandit
+// for instrument routing and a tabular Q-learner for dynamic experimental
+// scheduling under changing resource conditions.
+package rl
+
+import (
+	"math"
+
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+// Bandit is a UCB1 multi-armed bandit. Arms are instrument/queue choices;
+// rewards are negated waiting times or measured throughputs.
+type Bandit struct {
+	counts []int
+	sums   []float64
+	total  int
+
+	// C scales the exploration bonus. Default sqrt(2).
+	C float64
+}
+
+// NewBandit creates a bandit with n arms.
+func NewBandit(n int) *Bandit {
+	return &Bandit{counts: make([]int, n), sums: make([]float64, n), C: math.Sqrt2}
+}
+
+// Arms reports the number of arms.
+func (b *Bandit) Arms() int { return len(b.counts) }
+
+// Select returns the UCB1-optimal arm. Unplayed arms are tried first in
+// index order.
+func (b *Bandit) Select() int {
+	for i, c := range b.counts {
+		if c == 0 {
+			return i
+		}
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i := range b.counts {
+		mean := b.sums[i] / float64(b.counts[i])
+		bonus := b.C * math.Sqrt(math.Log(float64(b.total))/float64(b.counts[i]))
+		if v := mean + bonus; v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Update records a reward for an arm.
+func (b *Bandit) Update(arm int, reward float64) {
+	b.counts[arm]++
+	b.sums[arm] += reward
+	b.total++
+}
+
+// Mean reports an arm's empirical mean reward.
+func (b *Bandit) Mean(arm int) float64 {
+	if b.counts[arm] == 0 {
+		return 0
+	}
+	return b.sums[arm] / float64(b.counts[arm])
+}
+
+// QLearner is a tabular epsilon-greedy Q-learning agent over discrete
+// states and actions.
+type QLearner struct {
+	states  int
+	actions int
+	q       [][]float64
+	rnd     *rng.Stream
+
+	// Alpha is the learning rate. Default 0.2.
+	Alpha float64
+	// Gamma is the discount factor. Default 0.9.
+	Gamma float64
+	// Epsilon is the exploration probability. Default 0.1.
+	Epsilon float64
+}
+
+// NewQLearner creates a zero-initialized learner.
+func NewQLearner(states, actions int, r *rng.Stream) *QLearner {
+	q := make([][]float64, states)
+	for i := range q {
+		q[i] = make([]float64, actions)
+	}
+	return &QLearner{
+		states: states, actions: actions, q: q, rnd: r.Fork("qlearn"),
+		Alpha: 0.2, Gamma: 0.9, Epsilon: 0.1,
+	}
+}
+
+// Q returns the current action-value estimate.
+func (l *QLearner) Q(state, action int) float64 { return l.q[state][action] }
+
+// Select picks an action epsilon-greedily.
+func (l *QLearner) Select(state int) int {
+	if l.rnd.Bool(l.Epsilon) {
+		return l.rnd.Intn(l.actions)
+	}
+	return l.Greedy(state)
+}
+
+// Greedy picks the best-known action (ties break to the lowest index).
+func (l *QLearner) Greedy(state int) int {
+	best, bestV := 0, math.Inf(-1)
+	for a := 0; a < l.actions; a++ {
+		if v := l.q[state][a]; v > bestV {
+			best, bestV = a, v
+		}
+	}
+	return best
+}
+
+// Learn applies one Q-learning backup for (s, a, reward, s').
+func (l *QLearner) Learn(state, action int, reward float64, next int) {
+	bestNext := math.Inf(-1)
+	for a := 0; a < l.actions; a++ {
+		if v := l.q[next][a]; v > bestNext {
+			bestNext = v
+		}
+	}
+	target := reward + l.Gamma*bestNext
+	l.q[state][action] += l.Alpha * (target - l.q[state][action])
+}
+
+// LearnTerminal applies a backup for a terminal transition (no successor).
+func (l *QLearner) LearnTerminal(state, action int, reward float64) {
+	l.q[state][action] += l.Alpha * (reward - l.q[state][action])
+}

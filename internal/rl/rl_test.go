@@ -1,0 +1,112 @@
+package rl
+
+import (
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+func TestBanditTriesAllArmsFirst(t *testing.T) {
+	b := NewBandit(4)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		arm := b.Select()
+		if seen[arm] {
+			t.Fatalf("arm %d selected twice before all tried", arm)
+		}
+		seen[arm] = true
+		b.Update(arm, 0)
+	}
+}
+
+func TestBanditConvergesToBestArm(t *testing.T) {
+	r := rng.New(1)
+	b := NewBandit(3)
+	means := []float64{0.2, 0.8, 0.5}
+	picks := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		arm := b.Select()
+		picks[arm]++
+		reward := 0.0
+		if r.Bool(means[arm]) {
+			reward = 1
+		}
+		b.Update(arm, reward)
+	}
+	if picks[1] < picks[0] || picks[1] < picks[2] {
+		t.Fatalf("best arm underplayed: %v", picks)
+	}
+	if float64(picks[1])/3000 < 0.6 {
+		t.Fatalf("best arm only %d/3000 plays", picks[1])
+	}
+	if b.Mean(1) < 0.7 || b.Mean(1) > 0.9 {
+		t.Fatalf("arm-1 mean estimate %v", b.Mean(1))
+	}
+}
+
+func TestBanditMeanEmpty(t *testing.T) {
+	b := NewBandit(2)
+	if b.Mean(0) != 0 {
+		t.Fatal("empty arm mean should be 0")
+	}
+	if b.Arms() != 2 {
+		t.Fatal("Arms wrong")
+	}
+}
+
+// Grid world: states 0..4 in a line, action 0 = left, 1 = right.
+// Reward 1 at state 4 (terminal). Q-learning should learn to go right.
+func TestQLearnerGridLine(t *testing.T) {
+	l := NewQLearner(5, 2, rng.New(2))
+	l.Epsilon = 0.2
+	for ep := 0; ep < 2000; ep++ {
+		s := 0
+		for steps := 0; steps < 50; steps++ {
+			a := l.Select(s)
+			next := s
+			if a == 1 {
+				next = s + 1
+			} else if s > 0 {
+				next = s - 1
+			}
+			if next == 4 {
+				l.LearnTerminal(s, a, 1)
+				break
+			}
+			l.Learn(s, a, -0.01, next)
+			s = next
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if l.Greedy(s) != 1 {
+			t.Fatalf("state %d: greedy action %d, want right", s, l.Greedy(s))
+		}
+	}
+	if l.Q(3, 1) <= l.Q(3, 0) {
+		t.Fatalf("Q(3,right)=%v should exceed Q(3,left)=%v", l.Q(3, 1), l.Q(3, 0))
+	}
+}
+
+func TestQLearnerDiscounting(t *testing.T) {
+	l := NewQLearner(3, 1, rng.New(3))
+	l.Alpha = 1.0
+	l.Gamma = 0.5
+	// Terminal reward 1 at state 2; state 1 backs up 0.5 of it.
+	l.LearnTerminal(2, 0, 1)
+	l.Learn(1, 0, 0, 2)
+	if got := l.Q(1, 0); got != 0.5 {
+		t.Fatalf("Q(1,0) = %v, want 0.5 (discounted)", got)
+	}
+}
+
+func TestQLearnerEpsilonExploration(t *testing.T) {
+	l := NewQLearner(1, 4, rng.New(4))
+	l.Epsilon = 1.0 // always explore
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[l.Select(0)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("full exploration visited %d/4 actions", len(seen))
+	}
+}

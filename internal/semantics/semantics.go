@@ -1,0 +1,235 @@
+// Package semantics supplies the interoperability vocabulary layer the
+// paper's dimension 4 calls for: a unit system with automatic conversion,
+// a lightweight domain ontology, and per-site vocabulary translation so
+// agents at different institutions can exchange measurements without
+// manual harmonization.
+package semantics
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors from conversion and translation.
+var (
+	ErrUnknownUnit  = errors.New("semantics: unknown unit")
+	ErrIncompatible = errors.New("semantics: incompatible dimensions")
+	ErrUnknownTerm  = errors.New("semantics: unknown term")
+)
+
+// Dimension is a physical dimension class.
+type Dimension string
+
+// Built-in dimensions.
+const (
+	DimLength      Dimension = "length"
+	DimTime        Dimension = "time"
+	DimTemperature Dimension = "temperature"
+	DimVolume      Dimension = "volume"
+	DimFlow        Dimension = "flow"
+	DimAmount      Dimension = "amount"
+	DimRatio       Dimension = "ratio"
+	DimEnergy      Dimension = "energy"
+)
+
+// unitDef converts value -> base as value*factor + offset.
+type unitDef struct {
+	dim    Dimension
+	factor float64
+	offset float64
+}
+
+// Units is a unit registry with conversion. The zero value is empty;
+// NewUnits returns one loaded with the laboratory unit set.
+type Units struct {
+	defs map[string]unitDef
+}
+
+// NewUnits returns a registry with the standard laboratory units.
+func NewUnits() *Units {
+	u := &Units{defs: make(map[string]unitDef)}
+	// Length (base m).
+	u.Define("m", DimLength, 1, 0)
+	u.Define("mm", DimLength, 1e-3, 0)
+	u.Define("um", DimLength, 1e-6, 0)
+	u.Define("nm", DimLength, 1e-9, 0)
+	u.Define("angstrom", DimLength, 1e-10, 0)
+	// Time (base s).
+	u.Define("s", DimTime, 1, 0)
+	u.Define("ms", DimTime, 1e-3, 0)
+	u.Define("min", DimTime, 60, 0)
+	u.Define("h", DimTime, 3600, 0)
+	// Temperature (base K).
+	u.Define("K", DimTemperature, 1, 0)
+	u.Define("C", DimTemperature, 1, 273.15)
+	u.Define("F", DimTemperature, 5.0/9.0, 255.372222222)
+	// Volume (base L).
+	u.Define("L", DimVolume, 1, 0)
+	u.Define("mL", DimVolume, 1e-3, 0)
+	u.Define("uL", DimVolume, 1e-6, 0)
+	// Flow (base L/s).
+	u.Define("L/s", DimFlow, 1, 0)
+	u.Define("mL/min", DimFlow, 1e-3/60, 0)
+	u.Define("uL/s", DimFlow, 1e-6, 0)
+	// Amount concentration (base M).
+	u.Define("M", DimAmount, 1, 0)
+	u.Define("mM", DimAmount, 1e-3, 0)
+	u.Define("uM", DimAmount, 1e-6, 0)
+	// Dimensionless.
+	u.Define("ratio", DimRatio, 1, 0)
+	u.Define("%", DimRatio, 0.01, 0)
+	// Energy (base J).
+	u.Define("J", DimEnergy, 1, 0)
+	u.Define("eV", DimEnergy, 1.602176634e-19, 0)
+	return u
+}
+
+// Define registers a unit: base = value*factor + offset.
+func (u *Units) Define(name string, dim Dimension, factor, offset float64) {
+	u.defs[name] = unitDef{dim: dim, factor: factor, offset: offset}
+}
+
+// Dimension reports a unit's dimension.
+func (u *Units) Dimension(unit string) (Dimension, error) {
+	d, ok := u.defs[unit]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownUnit, unit)
+	}
+	return d.dim, nil
+}
+
+// Convert transforms value from one unit to another of the same dimension.
+func (u *Units) Convert(value float64, from, to string) (float64, error) {
+	fd, ok := u.defs[from]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownUnit, from)
+	}
+	td, ok := u.defs[to]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownUnit, to)
+	}
+	if fd.dim != td.dim {
+		return 0, fmt.Errorf("%w: %s (%s) -> %s (%s)", ErrIncompatible, from, fd.dim, to, td.dim)
+	}
+	base := value*fd.factor + fd.offset
+	return (base - td.offset) / td.factor, nil
+}
+
+// Concept is a node in the ontology.
+type Concept string
+
+// Ontology is a lightweight is-a hierarchy of scientific concepts.
+type Ontology struct {
+	parent map[Concept]Concept
+}
+
+// NewOntology returns an ontology preloaded with the AISLE domain spine.
+func NewOntology() *Ontology {
+	o := &Ontology{parent: make(map[Concept]Concept)}
+	pairs := [][2]Concept{
+		{"measurement", "thing"}, {"material", "thing"}, {"process", "thing"},
+		{"optical-measurement", "measurement"}, {"structural-measurement", "measurement"},
+		{"photoluminescence", "optical-measurement"}, {"absorbance", "optical-measurement"},
+		{"diffraction", "structural-measurement"}, {"microscopy", "structural-measurement"},
+		{"nanocrystal", "material"}, {"perovskite", "nanocrystal"}, {"quantum-dot", "nanocrystal"},
+		{"alloy", "material"}, {"polymer", "material"},
+		{"synthesis", "process"}, {"annealing", "process"}, {"characterization", "process"},
+	}
+	for _, p := range pairs {
+		o.AddIsA(p[0], p[1])
+	}
+	return o
+}
+
+// AddIsA declares child is-a parent.
+func (o *Ontology) AddIsA(child, parent Concept) { o.parent[child] = parent }
+
+// IsA reports whether c is (transitively) a kind of ancestor.
+func (o *Ontology) IsA(c, ancestor Concept) bool {
+	for {
+		if c == ancestor {
+			return true
+		}
+		p, ok := o.parent[c]
+		if !ok {
+			return false
+		}
+		c = p
+	}
+}
+
+// CommonAncestor returns the nearest shared ancestor of two concepts, or
+// false when they share none.
+func (o *Ontology) CommonAncestor(a, b Concept) (Concept, bool) {
+	ancestors := map[Concept]bool{a: true}
+	for c := a; ; {
+		p, ok := o.parent[c]
+		if !ok {
+			break
+		}
+		ancestors[p] = true
+		c = p
+	}
+	for c := b; ; {
+		if ancestors[c] {
+			return c, true
+		}
+		p, ok := o.parent[c]
+		if !ok {
+			return "", false
+		}
+		c = p
+	}
+}
+
+// Vocabulary maps institution-local terms to shared concepts, enabling
+// cross-site translation that preserves meaning.
+type Vocabulary struct {
+	toConcept map[string]map[string]Concept // site -> local term -> concept
+	fromSite  map[string]map[Concept]string // site -> concept -> preferred local term
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{
+		toConcept: make(map[string]map[string]Concept),
+		fromSite:  make(map[string]map[Concept]string),
+	}
+}
+
+// Learn records that site uses term for concept. The first term learned for
+// a concept becomes the site's preferred rendering.
+func (v *Vocabulary) Learn(site, term string, c Concept) {
+	t := strings.ToLower(term)
+	if v.toConcept[site] == nil {
+		v.toConcept[site] = make(map[string]Concept)
+		v.fromSite[site] = make(map[Concept]string)
+	}
+	v.toConcept[site][t] = c
+	if _, ok := v.fromSite[site][c]; !ok {
+		v.fromSite[site][c] = term
+	}
+}
+
+// Concept resolves a site-local term.
+func (v *Vocabulary) Concept(site, term string) (Concept, error) {
+	c, ok := v.toConcept[site][strings.ToLower(term)]
+	if !ok {
+		return "", fmt.Errorf("%w: %q at %s", ErrUnknownTerm, term, site)
+	}
+	return c, nil
+}
+
+// Translate converts a term from one site's vocabulary to another's.
+func (v *Vocabulary) Translate(term, fromSite, toSite string) (string, error) {
+	c, err := v.Concept(fromSite, term)
+	if err != nil {
+		return "", err
+	}
+	t, ok := v.fromSite[toSite][c]
+	if !ok {
+		return "", fmt.Errorf("%w: no rendering of %q at %s", ErrUnknownTerm, c, toSite)
+	}
+	return t, nil
+}

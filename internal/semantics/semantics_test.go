@@ -1,0 +1,134 @@
+package semantics
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestUnitConversions(t *testing.T) {
+	u := NewUnits()
+	cases := []struct {
+		v        float64
+		from, to string
+		want     float64
+	}{
+		{1000, "nm", "um", 1},
+		{1, "m", "angstrom", 1e10},
+		{60, "s", "min", 1},
+		{2, "h", "min", 120},
+		{25, "C", "K", 298.15},
+		{373.15, "K", "C", 100},
+		{212, "F", "C", 100},
+		{1, "mL/min", "uL/s", 1000.0 / 60},
+		{5, "mM", "uM", 5000},
+		{50, "%", "ratio", 0.5},
+	}
+	for _, c := range cases {
+		got, err := u.Convert(c.v, c.from, c.to)
+		if err != nil {
+			t.Fatalf("%v %s->%s: %v", c.v, c.from, c.to, err)
+		}
+		if math.Abs(got-c.want) > 1e-6*math.Abs(c.want)+1e-9 {
+			t.Errorf("Convert(%v, %s, %s) = %v, want %v", c.v, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	u := NewUnits()
+	v := 123.456
+	k, err := u.Convert(v, "C", "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := u.Convert(k, "K", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back-v) > 1e-9 {
+		t.Fatalf("round trip %v -> %v", v, back)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	u := NewUnits()
+	if _, err := u.Convert(1, "parsec", "m"); !errors.Is(err, ErrUnknownUnit) {
+		t.Fatalf("err = %v, want ErrUnknownUnit", err)
+	}
+	if _, err := u.Convert(1, "m", "s"); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestDimensionLookup(t *testing.T) {
+	u := NewUnits()
+	d, err := u.Dimension("mL/min")
+	if err != nil || d != DimFlow {
+		t.Fatalf("Dimension = %v, %v", d, err)
+	}
+}
+
+func TestOntologyIsA(t *testing.T) {
+	o := NewOntology()
+	if !o.IsA("perovskite", "material") {
+		t.Fatal("perovskite should be a material")
+	}
+	if !o.IsA("photoluminescence", "measurement") {
+		t.Fatal("photoluminescence should be a measurement")
+	}
+	if o.IsA("perovskite", "measurement") {
+		t.Fatal("perovskite is not a measurement")
+	}
+	if !o.IsA("alloy", "alloy") {
+		t.Fatal("identity IsA failed")
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	o := NewOntology()
+	c, ok := o.CommonAncestor("perovskite", "quantum-dot")
+	if !ok || c != "nanocrystal" {
+		t.Fatalf("CommonAncestor = %v, %v", c, ok)
+	}
+	c, ok = o.CommonAncestor("perovskite", "diffraction")
+	if !ok || c != "thing" {
+		t.Fatalf("distant ancestor = %v, %v", c, ok)
+	}
+	if _, ok := o.CommonAncestor("perovskite", "unrelated-orphan"); ok {
+		t.Fatal("orphan concept should share no ancestor")
+	}
+}
+
+func TestVocabularyTranslation(t *testing.T) {
+	v := NewVocabulary()
+	v.Learn("ornl", "PL quantum yield", "plqy")
+	v.Learn("anl", "PLQY", "plqy")
+	v.Learn("anl", "emission efficiency", "plqy")
+
+	got, err := v.Translate("pl quantum yield", "ornl", "anl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "PLQY" {
+		t.Fatalf("Translate = %q, want preferred term PLQY", got)
+	}
+
+	if _, err := v.Translate("unknown", "ornl", "anl"); !errors.Is(err, ErrUnknownTerm) {
+		t.Fatalf("err = %v, want ErrUnknownTerm", err)
+	}
+	v2 := NewVocabulary()
+	v2.Learn("a", "x", "c1")
+	if _, err := v2.Translate("x", "a", "b"); !errors.Is(err, ErrUnknownTerm) {
+		t.Fatalf("missing target rendering: err = %v", err)
+	}
+}
+
+func TestVocabularyCaseInsensitive(t *testing.T) {
+	v := NewVocabulary()
+	v.Learn("ornl", "Temperature", "temp")
+	c, err := v.Concept("ornl", "TEMPERATURE")
+	if err != nil || c != "temp" {
+		t.Fatalf("Concept = %v, %v", c, err)
+	}
+}

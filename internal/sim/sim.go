@@ -1,0 +1,288 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underpins every AISLE substrate: networks, instruments, agents, and
+// campaigns all advance on the same virtual clock.
+//
+// The kernel is intentionally sequential. Events execute in a total order
+// defined by (time, sequence number), which makes every simulation run
+// bit-reproducible for a given seed regardless of host parallelism.
+// Parallelism in AISLE lives one level up: experiment harnesses run many
+// independent simulations concurrently, each with its own Engine.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds since the start of the run.
+// It deliberately mirrors time.Duration semantics so durations and instants
+// compose with ordinary arithmetic.
+type Time int64
+
+// Common virtual time unit anchors, mirroring the time package.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+)
+
+// MaxTime is the largest representable virtual instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration to virtual time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns t expressed in floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Std converts virtual time back to a time.Duration for formatting.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// String formats the instant using duration notation (e.g. "1h3m0.25s").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are single-shot: after firing or
+// cancellation they are inert. The zero value is not usable; events are
+// created by Engine scheduling methods.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int // heap index, -1 when not queued
+	label    string
+}
+
+// At reports the virtual instant the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// Label returns the diagnostic label attached at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// eventHeap orders events by (time, sequence) so simultaneous events fire in
+// scheduling order — the property that makes runs reproducible.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrHorizon is returned by Run when the configured event horizon is reached
+// before the event queue drains, usually indicating a runaway feedback loop.
+var ErrHorizon = errors.New("sim: event horizon reached")
+
+// Engine is a discrete-event simulation executive. The zero value is ready
+// to use; NewEngine is provided for symmetry and future options.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+
+	// Horizon bounds the number of events processed in a single Run call.
+	// Zero means no bound.
+	Horizon uint64
+
+	processed uint64
+}
+
+// NewEngine returns an Engine positioned at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports the number of events currently queued (including events
+// that were cancelled but not yet popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay d. Negative delays are
+// clamped to zero, which schedules fn for the current instant after all
+// already-queued events at that instant.
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// ScheduleLabeled is Schedule with a diagnostic label used in traces.
+func (e *Engine) ScheduleLabeled(d Time, label string, fn func()) *Event {
+	ev := e.Schedule(d, fn)
+	ev.label = label
+	return ev
+}
+
+// At arranges for fn to run at absolute virtual instant t. Instants in the
+// past are clamped to the current time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes ev from the queue if it has not yet fired. Cancelling a
+// fired or already-cancelled event is a no-op. It reports whether the event
+// was actually cancelled by this call.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.fired || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+	return true
+}
+
+// Reschedule cancels ev and schedules fn-preserving copy after delay d,
+// returning the new event. It is a convenience for timer-refresh patterns
+// (heartbeats, token renewal, lease refresh).
+func (e *Engine) Reschedule(ev *Event, d Time) *Event {
+	if ev == nil {
+		return nil
+	}
+	fn := ev.fn
+	e.Cancel(ev)
+	n := e.Schedule(d, fn)
+	n.label = ev.label
+	return n
+}
+
+// step executes the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. It returns ErrHorizon if the
+// configured horizon is exceeded.
+func (e *Engine) Run() error {
+	return e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= limit, leaving later events
+// queued and the clock advanced to min(limit, time of last event). It
+// returns ErrHorizon if the horizon is exceeded.
+func (e *Engine) RunUntil(limit Time) error {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	var n uint64
+	for len(e.queue) > 0 {
+		// Peek: the heap root is the earliest event.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > limit {
+			break
+		}
+		if !e.step() {
+			break
+		}
+		n++
+		if e.Horizon > 0 && n >= e.Horizon {
+			return ErrHorizon
+		}
+	}
+	if e.now < limit && limit != MaxTime {
+		e.now = limit
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first invocation happens one period from now. fn receives the tick
+// index starting at 0.
+func (e *Engine) Ticker(period Time, fn func(i int)) (stop func()) {
+	if period <= 0 {
+		panic("sim: Ticker with non-positive period")
+	}
+	stopped := false
+	var tick func()
+	i := 0
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(i)
+		i++
+		if !stopped {
+			pending = e.Schedule(period, tick)
+		}
+	}
+	pending = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}
+}
+
+// After is a readability helper equivalent to Schedule.
+func (e *Engine) After(d Time, fn func()) *Event { return e.Schedule(d, fn) }

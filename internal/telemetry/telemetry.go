@@ -1,0 +1,365 @@
+// Package telemetry collects the measurements AISLE experiments report:
+// counters, gauges, log-bucketed latency histograms, and labelled series.
+// A Registry is attached to each simulation; experiment harnesses render
+// registries into Tables, the row/column structures that regenerate the
+// paper's milestone claims in EXPERIMENTS.md.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("telemetry: negative counter delta")
+	}
+	c.n += delta
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram accumulates observations with exact mean tracking plus
+// log-spaced buckets for quantile estimation. Buckets span [1e-9, ~1e12)
+// with 10 buckets per decade, adequate for latencies in seconds or counts.
+type Histogram struct {
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [220]int64 // 22 decades * 10
+}
+
+const (
+	histMinExp        = -9.0 // 1e-9
+	histBucketsPerDec = 10
+)
+
+func bucketFor(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	idx := int((math.Log10(v) - histMinExp) * histBucketsPerDec)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len((&Histogram{}).buckets) {
+		idx = len((&Histogram{}).buckets) - 1
+	}
+	return idx
+}
+
+func bucketUpper(i int) float64 {
+	return math.Pow(10, histMinExp+float64(i+1)/histBucketsPerDec)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketFor(v)]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum reports the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min reports the smallest observation, or 0 with none.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max reports the largest observation, or 0 with none.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-quantile (0<=q<=1) from the log buckets. The
+// estimate is the upper bound of the bucket containing the quantile, so it
+// is conservative (never under-reports a latency).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Registry is a namespace of named metrics. The zero value is ready to use.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Names returns the sorted names of all metrics of every kind.
+func (r *Registry) Names() []string {
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a rendered experiment result: a named grid of rows that mirrors
+// one milestone claim from the paper.
+type Table struct {
+	Name    string
+	Caption string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote records a free-text footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// FormatFloat renders floats compactly: large values with thousands
+// precision trimmed, small values with enough significant digits.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render draws the table as aligned plain text suitable for terminals and
+// EXPERIMENTS.md code blocks.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Name)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, " — %s", t.Caption)
+	}
+	b.WriteByte('\n')
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Stats summarises a float slice; convenience for experiment reporting.
+type Stats struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	P90, P95, P99  float64
+	Sum            float64
+	geometricValid bool
+	GeoMean        float64
+}
+
+// Summarize computes Stats over xs. Empty input yields the zero Stats.
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(xs), Min: xs[0], Max: xs[0], geometricValid: true}
+	logSum := 0.0
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		if x > 0 {
+			logSum += math.Log(x)
+		} else {
+			s.geometricValid = false
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.geometricValid {
+		s.GeoMean = math.Exp(logSum / float64(s.N))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		if len(sorted) == 1 {
+			return sorted[0]
+		}
+		pos := p * float64(len(sorted)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(sorted) {
+			return sorted[len(sorted)-1]
+		}
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	s.Median = q(0.5)
+	s.P90 = q(0.90)
+	s.P95 = q(0.95)
+	s.P99 = q(0.99)
+	return s
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("requests") != c {
+		t.Fatal("registry did not return same counter")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	(&Counter{}).Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	g := &Gauge{}
+	g.Set(3.5)
+	g.Add(-1.5)
+	if g.Value() != 2.0 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000.0) // 0.001..1.0
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.4 || p50 > 0.7 {
+		t.Fatalf("p50 = %v, want ~0.5 (bucketed)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.9 || p99 > 1.0 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Fatal("q0 should be min")
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatal("q1 should be max")
+	}
+}
+
+func TestHistogramQuantileConservative(t *testing.T) {
+	// Quantile estimates must never under-report the order statistic they
+	// bucket: estimate >= the ceil(q*n)-th smallest observation's bucket
+	// floor, i.e. never below the true order statistic by more than one
+	// bucket's rounding.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := &Histogram{}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			x := float64(v)/100 + 0.001
+			h.Observe(x)
+			vals[i] = x
+		}
+		sort.Float64s(vals)
+		k := int(math.Ceil(0.5 * float64(len(vals))))
+		orderStat := vals[k-1]
+		est := h.Quantile(0.5)
+		return est >= orderStat-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Name:    "E7",
+		Caption: "protocol comparison",
+		Columns: []string{"protocol", "p50 (ms)", "loss"},
+	}
+	tb.AddRow("rpc", 12.5, "0%")
+	tb.AddRow("queue", 40.0, "0%")
+	tb.AddNote("loss handled by %s", "retries")
+	out := tb.Render()
+	for _, want := range []string{"E7", "protocol comparison", "rpc", "queue", "12.5", "note: loss handled by retries"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// name + header + separator + 2 rows + 1 note
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 {
+		t.Fatalf("std = %v, want ~2.138 (sample)", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Median-4.5) > 1e-9 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestSummarizeGeoMean(t *testing.T) {
+	s := Summarize([]float64{1, 10, 100})
+	if math.Abs(s.GeoMean-10) > 1e-9 {
+		t.Fatalf("geomean = %v, want 10", s.GeoMean)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.142",
+		12345.6: "12345.6",
+		0.00123: "0.00123",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// Property: histogram mean equals arithmetic mean of observations.
+func TestPropertyHistogramMean(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := &Histogram{}
+		var sum float64
+		for _, v := range raw {
+			x := float64(v) + 1
+			h.Observe(x)
+			sum += x
+		}
+		want := sum / float64(len(raw))
+		return math.Abs(h.Mean()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

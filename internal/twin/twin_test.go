@@ -1,0 +1,220 @@
+package twin
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/rng"
+)
+
+func TestAllModelsOutputsFinite(t *testing.T) {
+	r := rng.New(42)
+	for name, m := range Registry() {
+		space := m.Space()
+		for i := 0; i < 500; i++ {
+			p := space.Sample(r)
+			out := m.Eval(p)
+			if len(out) == 0 {
+				t.Fatalf("%s: empty output", name)
+			}
+			for k, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: output %s=%v for %v", name, k, v, p)
+				}
+			}
+			if _, ok := out[m.Objective()]; !ok {
+				t.Fatalf("%s: objective %q missing from outputs", name, m.Objective())
+			}
+		}
+	}
+}
+
+func TestPerovskiteShape(t *testing.T) {
+	m := Perovskite{}
+	// The near-optimal ridge point beats a far-off point.
+	good := param.Point{"temperature": 150, "halide_ratio": 0.5, "residence_s": 60, "ligand_mM": 15}
+	bad := param.Point{"temperature": 60, "halide_ratio": 1.0, "residence_s": 300, "ligand_mM": 1}
+	if m.Eval(good)["plqy"] <= m.Eval(bad)["plqy"] {
+		t.Fatal("response surface inverted: ridge point not better")
+	}
+	// PLQY bounded to [0,1].
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		v := m.Eval(m.Space().Sample(r))["plqy"]
+		if v < 0 || v > 1 {
+			t.Fatalf("plqy %v out of [0,1]", v)
+		}
+	}
+	// Emission red-shifts as iodide increases (ratio decreases).
+	lo := m.Eval(param.Point{"temperature": 150, "halide_ratio": 0.1, "residence_s": 60, "ligand_mM": 15})["emission_nm"]
+	hi := m.Eval(param.Point{"temperature": 150, "halide_ratio": 0.9, "residence_s": 60, "ligand_mM": 15})["emission_nm"]
+	if lo <= hi {
+		t.Fatalf("emission should red-shift with iodide: %v <= %v", lo, hi)
+	}
+}
+
+func TestPerovskiteLocalTrapExists(t *testing.T) {
+	m := Perovskite{}
+	trap := param.Point{"temperature": 75, "halide_ratio": 0.2, "residence_s": 60, "ligand_mM": 15}
+	nearTrap := param.Point{"temperature": 95, "halide_ratio": 0.2, "residence_s": 60, "ligand_mM": 15}
+	if m.Eval(trap)["plqy"] <= m.Eval(nearTrap)["plqy"] {
+		t.Fatal("no local optimum at the designed trap location")
+	}
+	global := param.Point{"temperature": 132, "halide_ratio": 0.2, "residence_s": 60, "ligand_mM": 15}
+	if m.Eval(global)["plqy"] <= m.Eval(trap)["plqy"] {
+		t.Fatal("trap should remain below the global ridge")
+	}
+}
+
+func TestQuantumDotCardinalityMatchesPaper(t *testing.T) {
+	card := QuantumDot{}.Space().Cardinality()
+	if card < 1e12 || card > 1e14 {
+		t.Fatalf("quantum dot space cardinality = %.3g, want ~1e13 (Smart Dope claim)", card)
+	}
+}
+
+func TestQuantumDotOptimumRegion(t *testing.T) {
+	m := QuantumDot{}
+	good := param.Point{"dopant_pct": 2.5, "temperature": 210, "shell_nm": 1.4,
+		"reaction_min": 18, "precursor_ratio": 1.35, "ligand_mM": 12, "injection_rate": 2.2}
+	if v := m.Eval(good)["plqy"]; v < 0.8 {
+		t.Fatalf("designed optimum region scores only %v", v)
+	}
+	r := rng.New(2)
+	// Random points should rarely beat the designed optimum.
+	better := 0
+	goodV := m.Eval(good)["plqy"]
+	for i := 0; i < 5000; i++ {
+		if m.Eval(m.Space().Sample(r))["plqy"] > goodV {
+			better++
+		}
+	}
+	if better > 25 {
+		t.Fatalf("%d/5000 random points beat the near-optimum; surface too easy", better)
+	}
+}
+
+func TestAlloyMassBalanceDegenerate(t *testing.T) {
+	m := Alloy{}
+	out := m.Eval(param.Point{"frac_a": 0.7, "frac_b": 0.7, "anneal_C": 400, "anneal_min": 100})
+	if out["hardness"] != 0 {
+		t.Fatal("infeasible composition should yield degenerate hardness")
+	}
+}
+
+func TestReactionDecompositionPenalty(t *testing.T) {
+	m := Reaction{}
+	mild := param.Point{"temperature": 100, "time_min": 300, "catalyst_pct": 5, "stoich": 1.6}
+	hot := param.Point{"temperature": 150, "time_min": 300, "catalyst_pct": 5, "stoich": 1.6}
+	if m.Eval(hot)["yield"] >= m.Eval(mild)["yield"] {
+		t.Fatal("decomposition above 125C should reduce yield")
+	}
+}
+
+func TestNoiseApplication(t *testing.T) {
+	r := rng.New(7)
+	n := Noise{Rel: 0.05}
+	base := map[string]float64{"x": 100}
+	var sum, sumsq float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		out := map[string]float64{"x": 100}
+		n.Apply(out, r)
+		sum += out["x"]
+		sumsq += out["x"] * out["x"]
+	}
+	mean := sum / trials
+	sd := math.Sqrt(sumsq/trials - mean*mean)
+	if math.Abs(mean-100) > 0.2 {
+		t.Fatalf("noisy mean = %v, want ~100", mean)
+	}
+	if math.Abs(sd-5) > 0.3 {
+		t.Fatalf("noisy sd = %v, want ~5", sd)
+	}
+	_ = base
+	zero := Noise{}
+	out := map[string]float64{"x": 1}
+	zero.Apply(out, r)
+	if out["x"] != 1 {
+		t.Fatal("zero noise should be identity")
+	}
+}
+
+func TestVerifierBounds(t *testing.T) {
+	v := NewVerifier(Perovskite{})
+	ok := param.Point{"temperature": 150, "halide_ratio": 0.5, "residence_s": 60, "ligand_mM": 15}
+	if viol := v.Verify(ok); len(viol) != 0 {
+		t.Fatalf("feasible point flagged: %v", viol)
+	}
+	bad := param.Point{"temperature": 500, "halide_ratio": 0.5, "residence_s": 60, "ligand_mM": 15}
+	if viol := v.Verify(bad); len(viol) != 1 {
+		t.Fatalf("want 1 bounds violation, got %v", viol)
+	}
+	missing := param.Point{"temperature": 150}
+	if viol := v.Verify(missing); len(viol) != 3 {
+		t.Fatalf("want 3 missing-parameter violations, got %d", len(viol))
+	}
+}
+
+func TestStandardRulesAlloyMassBalance(t *testing.T) {
+	tw := NewTwin(Alloy{}, Noise{})
+	_, viol := tw.Preflight(param.Point{"frac_a": 0.7, "frac_b": 0.6, "anneal_C": 400, "anneal_min": 60})
+	if len(viol) == 0 {
+		t.Fatal("mass-balance violation not caught")
+	}
+	out, viol := tw.Preflight(param.Point{"frac_a": 0.5, "frac_b": 0.3, "anneal_C": 480, "anneal_min": 120})
+	if len(viol) != 0 {
+		t.Fatalf("feasible alloy rejected: %v", viol)
+	}
+	if out["hardness"] <= 0 {
+		t.Fatal("preflight should return predicted outputs")
+	}
+}
+
+func TestStandardRulesPerovskiteThermal(t *testing.T) {
+	tw := NewTwin(Perovskite{}, Noise{})
+	_, viol := tw.Preflight(param.Point{"temperature": 210, "halide_ratio": 0.1, "residence_s": 60, "ligand_mM": 15})
+	if len(viol) == 0 {
+		t.Fatal("iodide-rich high-temperature decomposition not caught")
+	}
+}
+
+func TestMeasureAddsNoise(t *testing.T) {
+	tw := NewTwin(Perovskite{}, Noise{Rel: 0.05})
+	p := param.Point{"temperature": 150, "halide_ratio": 0.5, "residence_s": 60, "ligand_mM": 15}
+	truth := tw.Model.Eval(p)["plqy"]
+	r := rng.New(3)
+	different := 0
+	for i := 0; i < 10; i++ {
+		if tw.Measure(p, r)["plqy"] != truth {
+			different++
+		}
+	}
+	if different < 9 {
+		t.Fatal("measurements suspiciously noise-free")
+	}
+}
+
+// Property: every model is deterministic — same point, same output.
+func TestPropertyModelsDeterministic(t *testing.T) {
+	for name, m := range Registry() {
+		m := m
+		space := m.Space()
+		f := func(seed uint32) bool {
+			p := space.Sample(rng.New(uint64(seed)))
+			a := m.Eval(p)
+			b := m.Eval(p)
+			for k := range a {
+				if a[k] != b[k] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
