@@ -34,6 +34,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
@@ -67,6 +68,27 @@ const (
 	OrchManual        = core.OrchManual
 	OrchAgent         = core.OrchAgent
 	OrchAgentVerified = core.OrchAgentVerified
+)
+
+// Federation scheduler. Campaigns opt in to batched dispatch with
+// CampaignConfig.Parallelism > 1; FairWeight and Priority control the
+// campaign's fair share of the fleet.
+type (
+	// Scheduler is the federation-wide experiment scheduler (Network.Sched).
+	Scheduler = sched.Scheduler
+	// SchedulerOptions tunes the scheduler via Config.Sched.
+	SchedulerOptions = sched.Options
+	// SchedClass is a tenant priority class.
+	SchedClass = sched.Class
+	// SchedTenant describes one fair-share tenant.
+	SchedTenant = sched.TenantConfig
+)
+
+// Scheduler priority classes.
+const (
+	SchedBatch  = sched.ClassBatch
+	SchedNormal = sched.ClassNormal
+	SchedUrgent = sched.ClassUrgent
 )
 
 // Instruments.

@@ -6,9 +6,14 @@
 package aisle
 
 import (
+	"fmt"
 	"testing"
 
+	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/experiments"
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/twin"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -79,3 +84,81 @@ func BenchmarkE13aRetryBudget(b *testing.B) { benchExperiment(b, "E13a") }
 
 // BenchmarkE14Education regenerates the M13/M14 curriculum-outcomes table.
 func BenchmarkE14Education(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15SchedSaturation regenerates the scheduler-saturation table.
+func BenchmarkE15SchedSaturation(b *testing.B) { benchExperiment(b, "E15") }
+
+// benchConcurrentCampaigns drives 200 concurrent campaigns across a 4-site
+// federation through the scheduler at the given per-campaign parallelism,
+// reporting wall time per full saturation run and virtual campaign
+// throughput. This is the heavy-multi-tenant-traffic scenario from the
+// roadmap's north star.
+func benchConcurrentCampaigns(b *testing.B, parallelism int) {
+	b.Helper()
+	const (
+		nSites  = 4
+		nCamps  = 200
+		nBudget = 6
+	)
+	var camphSum float64
+	for i := 0; i < b.N; i++ {
+		sites := []SiteID{"ornl", "anl", "slac", "pnnl"}
+		n := core.New(core.Config{Seed: uint64(42 + i), Sites: sites, Link: core.DefaultLink()})
+		for _, id := range sites {
+			s := n.Site(id)
+			for k := 0; k < 2; k++ {
+				s.AddInstrument(instrument.NewFluidicReactor(
+					n.Eng, n.Rnd, fmt.Sprintf("flow-%d-%s", k, id), string(id), twin.Perovskite{}))
+			}
+		}
+		if err := n.RunFor(3 * sim.Minute); err != nil {
+			b.Fatal(err)
+		}
+		start := n.Eng.Now()
+		finish := start
+		done := 0
+		for c := 0; c < nCamps; c++ {
+			n.RunCampaign(core.CampaignConfig{
+				Name:        fmt.Sprintf("bench-%03d", c),
+				Site:        sites[c%len(sites)],
+				Model:       twin.Perovskite{},
+				Budget:      nBudget,
+				Mode:        core.OrchAgentVerified,
+				SynthKind:   instrument.KindFlowReactor,
+				Parallelism: parallelism,
+			}, func(r *core.CampaignReport) {
+				done++
+				if r.Err != nil {
+					b.Error(r.Err)
+				}
+				if r.Finished > finish {
+					finish = r.Finished
+				}
+			})
+		}
+		deadline := n.Eng.Now() + 60*sim.Day
+		for done < nCamps && n.Eng.Now() < deadline {
+			if err := n.RunFor(sim.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n.Stop()
+		if done != nCamps {
+			b.Fatalf("only %d/%d campaigns completed", done, nCamps)
+		}
+		camphSum += float64(nCamps) / ((finish - start).Seconds() / 3600)
+	}
+	b.ReportMetric(camphSum/float64(b.N), "vcampaigns/hr")
+}
+
+// BenchmarkSchedCampaignsP1 is the serial-loop baseline: 200 concurrent
+// campaigns, each with one experiment in flight.
+func BenchmarkSchedCampaignsP1(b *testing.B) { benchConcurrentCampaigns(b, 1) }
+
+// BenchmarkSchedCampaignsP4 keeps 4 experiments per campaign in flight.
+func BenchmarkSchedCampaignsP4(b *testing.B) { benchConcurrentCampaigns(b, 4) }
+
+// BenchmarkSchedCampaignsP16 keeps 16 experiments per campaign in flight
+// (far past fleet capacity, exercising the fair-share queues under
+// saturation).
+func BenchmarkSchedCampaignsP16(b *testing.B) { benchConcurrentCampaigns(b, 16) }

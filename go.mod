@@ -1,0 +1,3 @@
+module github.com/aisle-sim/aisle
+
+go 1.22

@@ -11,6 +11,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/optimize"
 	"github.com/aisle-sim/aisle/internal/param"
 	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
@@ -60,6 +61,16 @@ type CampaignConfig struct {
 	MaxFailuresPerPoint int
 	// InstrumentTimeout bounds one instrument call. Default 48h.
 	InstrumentTimeout sim.Time
+	// Parallelism keeps up to this many experiments in flight through the
+	// federation scheduler, turning the serial ask->run->tell loop into a
+	// pipelined one. 0 or 1 selects the direct serial path.
+	Parallelism int
+	// FairWeight is the campaign's fair-share weight at the scheduler
+	// (default 1). Only meaningful with Parallelism > 1.
+	FairWeight float64
+	// Priority is the campaign's scheduler class. The zero value is
+	// normal priority. Only meaningful with Parallelism > 1.
+	Priority sched.Class
 }
 
 // CampaignReport is the outcome of one campaign.
@@ -165,6 +176,15 @@ func (n *Network) RunCampaign(cfg CampaignConfig, cb func(*CampaignReport)) {
 	// Provenance: the campaign is an agent acting for the site.
 	n.Mesh.Prov.AddAgent("campaign:"+cfg.Name, map[string]string{"site": string(cfg.Site)})
 
+	if cfg.Parallelism > 1 {
+		// Batched dispatch rides the federation scheduler; the direct
+		// serial path below stays untouched for Parallelism <= 1.
+		n.Sched.Tenant(cfg.Site, sched.TenantConfig{
+			ID: cfg.Name, Weight: cfg.FairWeight, Class: cfg.Priority,
+		})
+		c.fill()
+		return
+	}
 	c.step()
 }
 
@@ -181,6 +201,13 @@ type campaign struct {
 	approver *llm.ApprovalModel
 
 	reuseStreak int
+	finished    bool
+
+	// Batched-dispatch state (Parallelism > 1).
+	launched  int                    // experiments submitted and not permanently dropped
+	flying    int                    // proposals being decided or executing
+	seq       int                    // sample-ID sequence across concurrent flights
+	flyingPts map[string]param.Point // intended points in flight, by sample ID
 }
 
 // step runs one loop iteration: ask -> (maybe reuse) -> decide -> execute.
@@ -196,24 +223,21 @@ func (c *campaign) step() {
 
 	intended := c.opt.Ask()
 
-	// Knowledge reuse: skip experiments the federation already ran.
-	if c.cfg.UseKnowledge {
-		if v, ok := c.site.Knowledge.HasObservation(c.cfg.Model.Name(), intended); ok && c.reuseStreak < 5 {
-			c.rep.Reused++
-			c.reuseStreak++
-			c.opt.Tell(intended, v)
-			if v > c.rep.BestValue {
-				c.rep.BestValue = v
-				c.rep.BestPoint = intended.Clone()
-			}
-			// A reuse costs a catalog lookup, not an experiment.
-			c.n.Eng.Schedule(30*sim.Second, c.step)
-			return
-		}
+	// Knowledge reuse: skip experiments the federation already ran. A
+	// reuse costs a catalog lookup, not an experiment.
+	if c.tryReuse(intended) {
+		c.n.Eng.Schedule(30*sim.Second, c.step)
+		return
 	}
-	c.reuseStreak = 0
 
-	// Orchestration decision.
+	prop := c.decide(intended)
+	c.n.Eng.Schedule(prop.Latency, func() { c.execute(prop, 0) })
+}
+
+// decide runs the orchestration decision for an intended point, with all
+// report accounting (latency, repairs, traces, approvals). Shared by the
+// serial and batched paths.
+func (c *campaign) decide(intended param.Point) llm.Proposal {
 	var prop llm.Proposal
 	goal := fmt.Sprintf("maximize %s of %s", c.cfg.Model.Objective(), c.cfg.Model.Name())
 	if c.human != nil {
@@ -229,8 +253,7 @@ func (c *campaign) step() {
 	if c.approver.Approves(prop.Trace) {
 		c.rep.Approvals++
 	}
-
-	c.n.Eng.Schedule(prop.Latency, func() { c.execute(prop, 0) })
+	return prop
 }
 
 // execute runs the emitted command on a negotiated instrument.
@@ -260,13 +283,14 @@ func (c *campaign) execute(prop llm.Proposal, failures int) {
 			c.n.Eng.Schedule(0, c.step)
 			return
 		}
-		c.ingest(prop, res)
+		c.ingest(prop, res, func() { c.n.Eng.Schedule(0, c.step) })
 	})
 }
 
 // ingest scores correctness, characterizes if configured, feeds the
-// optimizer and knowledge base, and records provenance.
-func (c *campaign) ingest(prop llm.Proposal, res instrument.Result) {
+// optimizer and knowledge base, records provenance, and finally invokes
+// cont to resume the owning loop (serial step or batched refill).
+func (c *campaign) ingest(prop llm.Proposal, res instrument.Result, cont func()) {
 	c.rep.Executed++
 	if prop.Correct() {
 		c.rep.Correct++
@@ -299,7 +323,8 @@ func (c *campaign) ingest(prop llm.Proposal, res instrument.Result) {
 	prov.WasAssociatedWith(actID, fabric.AgentID("campaign:"+c.cfg.Name))
 
 	// Characterization hop (cross-facility when the instrument lives
-	// elsewhere).
+	// elsewhere). Batched campaigns route it through the scheduler so
+	// characterization shares the fleet fairly too.
 	if c.cfg.CharacterizeKind != "" {
 		rec, ok := c.site.FindInstrument(c.cfg.CharacterizeKind, nil, "throughput_per_hr")
 		if ok {
@@ -309,14 +334,28 @@ func (c *campaign) ingest(prop llm.Proposal, res instrument.Result) {
 				Params:   param.Point{"scan_resolution": 1, "exposure_s": 60},
 				SampleID: res.SampleID,
 			}
-			c.site.RunInstrument(rec, cmd, c.cfg.InstrumentTimeout, func(instrument.Result, error) {
+			after := func() {
+				if c.finished {
+					return
+				}
 				c.rep.InstrumentTime += c.n.Eng.Now() - started
-				c.n.Eng.Schedule(0, c.step)
+				cont()
+			}
+			if c.cfg.Parallelism > 1 {
+				c.n.Sched.Submit(sched.Job{
+					Tenant: c.cfg.Name, Origin: c.cfg.Site,
+					Kind: c.cfg.CharacterizeKind, Cmd: cmd,
+					Timeout: c.cfg.InstrumentTimeout,
+				}, func(instrument.Result, error) { after() })
+				return
+			}
+			c.site.RunInstrument(rec, cmd, c.cfg.InstrumentTimeout, func(instrument.Result, error) {
+				after()
 			})
 			return
 		}
 	}
-	c.n.Eng.Schedule(0, c.step)
+	cont()
 }
 
 func charActionFor(kind string) string {
@@ -333,8 +372,15 @@ func charActionFor(kind string) string {
 }
 
 func (c *campaign) finish(err error) {
+	if c.finished {
+		return
+	}
+	c.finished = true
 	c.rep.Finished = c.n.Eng.Now()
 	c.rep.Err = err
+	if c.cfg.Parallelism > 1 {
+		c.n.Sched.ReleaseTenant(c.cfg.Name)
+	}
 	c.n.Metrics.Counter("core.campaigns").Inc()
 	c.cb(c.rep)
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/knowledge"
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/security"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
@@ -41,6 +42,9 @@ type Config struct {
 	SharedKnowledge bool
 	// GossipInterval for service discovery. Zero uses the default.
 	GossipInterval sim.Time
+	// Sched tunes the federation-wide experiment scheduler. The zero
+	// value gets the scheduler defaults.
+	Sched sched.Options
 }
 
 // DefaultLink is a realistic lab-to-lab WAN link: 15 ms propagation, 1 ms
@@ -84,6 +88,7 @@ type Network struct {
 	Agents    *agents.Runtime
 	Workflows *workflow.Engine
 	Metrics   *telemetry.Registry
+	Sched     *sched.Scheduler
 
 	sites map[netsim.SiteID]*Site
 }
@@ -162,6 +167,25 @@ func New(cfg Config) *Network {
 		n.sites[id] = s
 	}
 	fed.TrustAll(cfg.Sites)
+
+	// The federation scheduler routes experiments across every site's
+	// fleet; bindings give it each site's directory view, local fleet
+	// state, and service credential.
+	n.Sched = sched.New(eng, net, fab, n.Metrics, cfg.Sched)
+	for _, id := range cfg.Sites {
+		s := n.sites[id]
+		n.Sched.AddSite(sched.SiteBinding{
+			ID:       id,
+			Registry: s.Registry,
+			Fleet:    s.Fleet,
+			Token: func() any {
+				if tok := s.ServiceToken(); tok != nil {
+					return tok
+				}
+				return nil
+			},
+		})
+	}
 
 	if cfg.ZeroTrust {
 		// Standing ABAC policy: orchestrator agents may call instruments
@@ -293,6 +317,7 @@ func (s *Site) RunInstrument(rec discovery.Record, cmd instrument.Command,
 // Stop shuts background tickers down so the event queue can drain.
 func (n *Network) Stop() {
 	n.Directory.Stop()
+	n.Sched.Stop()
 	for _, s := range n.sites {
 		if s.orchestratorTM != nil {
 			s.orchestratorTM.Stop()

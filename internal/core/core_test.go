@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/discovery"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/sim"
@@ -226,6 +229,134 @@ func TestCampaignTargetStopsEarly(t *testing.T) {
 	}
 	if rep.Executed >= 200 {
 		t.Fatal("campaign did not stop early despite reaching target")
+	}
+}
+
+func TestCampaignNoInstrumentErrorSerial(t *testing.T) {
+	n := buildTestbed(t, 30, false, false)
+	defer n.Stop()
+	waitDiscovery(t, n)
+	var rep *CampaignReport
+	n.RunCampaign(CampaignConfig{
+		Name: "ghost-serial", Site: "ornl", Model: twin.Perovskite{},
+		Budget: 5, Mode: OrchAgentVerified, SynthKind: "_ghost._aisle",
+	}, func(r *CampaignReport) { rep = r })
+	if err := n.RunFor(sim.Day); err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("campaign never reported")
+	}
+	if !errors.Is(rep.Err, ErrNoInstrument) {
+		t.Fatalf("err = %v, want ErrNoInstrument", rep.Err)
+	}
+}
+
+func TestCampaignNoInstrumentErrorParallel(t *testing.T) {
+	n := buildTestbed(t, 31, false, false)
+	defer n.Stop()
+	waitDiscovery(t, n)
+	var rep *CampaignReport
+	n.RunCampaign(CampaignConfig{
+		Name: "ghost-par", Site: "ornl", Model: twin.Perovskite{},
+		Budget: 5, Mode: OrchAgentVerified, SynthKind: "_ghost._aisle",
+		Parallelism: 4,
+	}, func(r *CampaignReport) { rep = r })
+	if err := n.RunFor(sim.Day); err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("campaign never reported")
+	}
+	if !errors.Is(rep.Err, ErrNoInstrument) {
+		t.Fatalf("err = %v, want ErrNoInstrument", rep.Err)
+	}
+}
+
+func TestFindInstrumentFiltering(t *testing.T) {
+	n := buildTestbed(t, 32, false, false)
+	defer n.Stop()
+	s := n.Site("ornl")
+	// Two records of one kind with different capability levels exercise
+	// both the floor filter and the preference maximization.
+	for name, speed := range map[string]float64{"slow": 5, "fast": 50} {
+		s.Registry.Register(discovery.Record{
+			Instance:     "ornl/" + name,
+			Type:         "_probe._aisle",
+			Addr:         bus.Address{Site: "ornl", Name: "instr/" + name},
+			Capabilities: map[string]float64{"speed": speed},
+		})
+	}
+
+	if _, ok := s.FindInstrument("_probe._aisle", map[string]float64{"speed": 100}, ""); ok {
+		t.Fatal("capability floor above every instrument must not match")
+	}
+	rec, ok := s.FindInstrument("_probe._aisle", map[string]float64{"speed": 10}, "")
+	if !ok || rec.Instance != "ornl/fast" {
+		t.Fatalf("floor 10 matched %v (%v), want ornl/fast", rec.Instance, ok)
+	}
+	rec, ok = s.FindInstrument("_probe._aisle", nil, "speed")
+	if !ok || rec.Instance != "ornl/fast" {
+		t.Fatalf("prefer=speed picked %v, want ornl/fast", rec.Instance)
+	}
+	if _, ok := s.FindInstrument("_nothere._aisle", nil, ""); ok {
+		t.Fatal("unknown kind must not match")
+	}
+}
+
+func TestCampaignParallelCompletesBudget(t *testing.T) {
+	n := buildTestbed(t, 33, true, true)
+	defer n.Stop()
+	waitDiscovery(t, n)
+	var rep *CampaignReport
+	n.RunCampaign(CampaignConfig{
+		Name: "par", Site: "ornl", Model: twin.Perovskite{},
+		Budget: 20, Mode: OrchAgentVerified,
+		SynthKind: instrument.KindFlowReactor, UseKnowledge: true,
+		Parallelism: 4,
+	}, func(r *CampaignReport) { rep = r })
+	runUntilReport(t, n, &rep, 30*sim.Day)
+	if rep == nil {
+		t.Fatal("parallel campaign never finished")
+	}
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Executed != 20 {
+		t.Fatalf("executed = %d, want exactly the budget", rep.Executed)
+	}
+	if rep.BestValue <= 0.1 {
+		t.Fatalf("best = %v, optimizer made no progress", rep.BestValue)
+	}
+	if n.Sched.InFlight() != 0 || n.Sched.QueueDepth() != 0 {
+		t.Fatalf("scheduler not drained: %d in flight, %d queued",
+			n.Sched.InFlight(), n.Sched.QueueDepth())
+	}
+}
+
+func TestCampaignParallelFasterThanSerial(t *testing.T) {
+	runOne := func(par int) *CampaignReport {
+		n := buildTestbed(t, 34, false, false)
+		defer n.Stop()
+		waitDiscovery(t, n)
+		var rep *CampaignReport
+		n.RunCampaign(CampaignConfig{
+			Name: "pipeline", Site: "ornl", Model: twin.Perovskite{},
+			Budget: 12, Mode: OrchAgentVerified,
+			SynthKind: instrument.KindFlowReactor, Parallelism: par,
+		}, func(r *CampaignReport) { rep = r })
+		runUntilReport(t, n, &rep, 30*sim.Day)
+		if rep == nil || rep.Err != nil {
+			t.Fatalf("campaign (par=%d) failed: %+v", par, rep)
+		}
+		return rep
+	}
+	serial := runOne(1)
+	batched := runOne(8)
+	ratio := float64(serial.Makespan()) / float64(batched.Makespan())
+	if ratio < 2 {
+		t.Fatalf("parallel speedup = %.2fx (serial %v vs batched %v), want >= 2x",
+			ratio, serial.Makespan(), batched.Makespan())
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 var quickOpts = Options{Seed: 42, Quick: true, Replicas: 2}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E10", "E11", "E12", "E13", "E13a", "E14",
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E13a", "E14", "E15",
 		"E2", "E2a", "E3", "E3a", "E4", "E5", "E6", "E7", "E8", "E9", "E9a"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -176,6 +176,20 @@ func TestE13FaultToleranceShape(t *testing.T) {
 	}
 	if tolerant < 90 {
 		t.Fatalf("tolerant completion %v%% too low", tolerant)
+	}
+}
+
+func TestE15SchedSaturationShape(t *testing.T) {
+	tb := runOne(t, "E15")[0]
+	// Rows are parallelism 1, 4, 8; column 1 is campaigns/hr.
+	p1, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	p8, _ := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][1], 64)
+	if p1 <= 0 || p8 <= 0 {
+		t.Fatalf("non-positive throughput: p1=%v p8=%v", p1, p8)
+	}
+	if p8/p1 < 2 {
+		t.Fatalf("batched dispatch speedup %.2fx below the 2x acceptance bar (p1=%v p8=%v)",
+			p8/p1, p1, p8)
 	}
 }
 

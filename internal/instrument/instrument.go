@@ -413,6 +413,9 @@ func NewFleet() *Fleet { return &Fleet{byID: make(map[string]*Instrument)} }
 // Add registers an instrument.
 func (f *Fleet) Add(in *Instrument) { f.byID[in.cfg.Descriptor.ID] = in }
 
+// Size reports the number of registered instruments.
+func (f *Fleet) Size() int { return len(f.byID) }
+
 // Get fetches by ID.
 func (f *Fleet) Get(id string) (*Instrument, bool) {
 	in, ok := f.byID[id]

@@ -162,6 +162,51 @@ func (b *Bayes) Tell(p param.Point, value float64) {
 	b.stale = true
 }
 
+// AskBatch proposes k points for parallel evaluation using the
+// constant-liar strategy: after each Ask, the pending point is given a
+// fantasy observation at the worst value seen so far (CL-min), which
+// collapses posterior variance around it and pushes subsequent asks toward
+// unexplored regions. Points already in flight elsewhere (asked earlier
+// but not yet told) are fantasized the same way first, so refill batches
+// do not re-propose experiments that are still executing. The fantasies
+// are retracted before returning, so the surrogate's real evidence is
+// untouched. During the LHS warm-up the plan already spreads points, and
+// the fantasies are harmless.
+func (b *Bayes) AskBatch(k int, inflight []param.Point) []param.Point {
+	if k <= 1 && len(inflight) == 0 {
+		return []param.Point{b.Ask()}
+	}
+	if k < 1 {
+		k = 1
+	}
+	lie := math.Inf(1)
+	for _, o := range b.obs {
+		if o.Value < lie {
+			lie = o.Value
+		}
+	}
+	if math.IsInf(lie, 1) {
+		lie = 0
+	}
+	saved := len(b.obs)
+	savedP, savedV := b.bestP, b.bestV
+	for _, p := range inflight {
+		b.obs = append(b.obs, Observation{Point: p.Clone(), Value: lie, Weight: 1})
+	}
+	b.stale = len(inflight) > 0 || b.stale
+	out := make([]param.Point, 0, k)
+	for i := 0; i < k; i++ {
+		p := b.Ask()
+		out = append(out, p)
+		b.obs = append(b.obs, Observation{Point: p.Clone(), Value: lie, Weight: 1})
+		b.stale = true
+	}
+	b.obs = b.obs[:saved]
+	b.bestP, b.bestV = savedP, savedV
+	b.stale = true
+	return out
+}
+
 // Ask implements Optimizer.
 func (b *Bayes) Ask() param.Point {
 	if len(b.initPlan) > 0 {

@@ -1,0 +1,818 @@
+// Package sched is the federation-wide experiment scheduler: the layer
+// between campaigns and instruments that makes heavy multi-tenant traffic
+// possible. The paper's vision is a pooled instrument fleet spanning
+// institutions; without a scheduler, each campaign negotiates an instrument
+// on its own and a busy reactor at one site queues work while an identical
+// idle reactor at a peer site sits dark.
+//
+// The scheduler provides three things:
+//
+//   - Fair-share multi-tenancy: every campaign (tenant) gets a weighted
+//     deficit-round-robin queue at its submission site, with priority
+//     classes and aging so background work backfills idle capacity without
+//     ever starving (a job's effective class rises the longer it waits).
+//
+//   - Cross-site routing: each dispatch scores every compatible instrument
+//     visible in the federation directory by scheduler-tracked in-flight
+//     load, observed instrument state (down instruments are skipped,
+//     calibrating ones penalized), and WAN round-trip latency from netsim,
+//     then ships the command to the cheapest one over the bus fabric.
+//
+//   - Work stealing: when a site frees instrument capacity and its own
+//     queue is dry, it steals half the deepest peer backlog (paying one
+//     WAN round trip), so no fleet capacity idles while any site queues.
+//
+// The scheduler is intentionally ignorant of campaigns: it moves opaque
+// instrument commands. Batched dispatch (a campaign keeping k experiments
+// in flight) is built on top in internal/core using Submit's asynchronous
+// completion callbacks.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aisle-sim/aisle/internal/bus"
+	"github.com/aisle-sim/aisle/internal/discovery"
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+)
+
+// Errors surfaced to submitters.
+var (
+	ErrUnknownSite   = errors.New("sched: unknown origin site")
+	ErrUnknownTenant = errors.New("sched: job names no tenant")
+	// ErrExpired reports a job that outlived its Timeout while still
+	// queued (every candidate instrument down, saturated, or unreachable
+	// for the whole window).
+	ErrExpired = errors.New("sched: job expired in queue")
+	// ErrCanceled reports a queued job dropped because its tenant was
+	// released before it dispatched.
+	ErrCanceled = errors.New("sched: job canceled")
+)
+
+// Class is a tenant priority class. Higher classes dispatch first; aging
+// promotes waiting jobs one class per AgingStep so lower classes backfill
+// without starving.
+type Class int
+
+// Priority classes. The zero value is ClassNormal so campaigns that never
+// touch the knob get ordinary service.
+const (
+	// ClassBatch is background work that yields to everything fresh.
+	ClassBatch Class = iota - 1
+	// ClassNormal is the default interactive-campaign class.
+	ClassNormal
+	// ClassUrgent preempts queued normal work (not running experiments).
+	ClassUrgent
+)
+
+// String renders the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassBatch:
+		return "batch"
+	case ClassNormal:
+		return "normal"
+	case ClassUrgent:
+		return "urgent"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// TenantConfig describes one fair-share tenant (typically a campaign).
+type TenantConfig struct {
+	ID string
+	// Weight is the deficit-round-robin share. Default 1; clamped to
+	// [0.05, 8] so every tenant makes progress in a bounded number of
+	// scheduling passes.
+	Weight float64
+	// Class is the base priority class.
+	Class Class
+}
+
+// Job is one experiment request: an instrument command plus the routing
+// requirement (kind and capability floors) needed to place it.
+type Job struct {
+	Tenant  string
+	Origin  netsim.SiteID
+	Kind    string
+	MinCaps map[string]float64
+	Cmd     instrument.Command
+	// Timeout bounds the instrument RPC (queueing + action). Default 48h.
+	Timeout sim.Time
+}
+
+// Options tunes the scheduler. The zero value gets sane defaults.
+type Options struct {
+	// MaxInFlightPerInstrument caps jobs dispatched-but-incomplete per
+	// instrument: enough to pipeline (the next command is queued on the
+	// device when the current one finishes) without deep device queues
+	// that defeat global routing. Default 2.
+	MaxInFlightPerInstrument int
+	// AgingStep is the queue wait that promotes a job one priority class
+	// (starvation-free backfill). Default 30 minutes; <0 disables.
+	AgingStep sim.Time
+	// StealThreshold is the minimum peer backlog worth stealing from.
+	// Default 2.
+	StealThreshold int
+	// RepumpInterval is the background sweep that re-drives queues whose
+	// wake-up events were lost to failures. Default 1 minute.
+	RepumpInterval sim.Time
+	// DefaultEstimate is the assumed action duration for instruments that
+	// do not advertise throughput_per_hr. Default 10 minutes.
+	DefaultEstimate sim.Time
+}
+
+func (o *Options) defaults() {
+	if o.MaxInFlightPerInstrument == 0 {
+		o.MaxInFlightPerInstrument = 2
+	}
+	if o.AgingStep == 0 {
+		o.AgingStep = 30 * sim.Minute
+	}
+	if o.StealThreshold == 0 {
+		o.StealThreshold = 2
+	}
+	if o.RepumpInterval == 0 {
+		o.RepumpInterval = sim.Minute
+	}
+	if o.DefaultEstimate == 0 {
+		o.DefaultEstimate = 10 * sim.Minute
+	}
+}
+
+// SiteBinding is what the scheduler needs from one federation site: the
+// local directory view for routing, the local fleet for state inspection,
+// and a credential supplier for dispatch under zero trust.
+type SiteBinding struct {
+	ID       netsim.SiteID
+	Registry *discovery.Registry
+	Fleet    *instrument.Fleet
+	Token    func() any
+}
+
+// queuedJob is a Job waiting at a site queue. It carries a snapshot of its
+// tenant's config so stealing can recreate the tenant at the thief site
+// with the same weight and class, and a canceled mark so a job caught
+// mid-steal when its tenant is released does not resurrect the tenant.
+type queuedJob struct {
+	job      Job
+	cfg      TenantConfig
+	cb       func(instrument.Result, error)
+	enqueued sim.Time
+	canceled bool
+}
+
+// tenantQ is one tenant's FIFO plus its fair-share virtual time: each
+// dispatch advances vtime by 1/weight, so the scheduler serving the
+// smallest vtime first realizes weighted round robin (a weight-2 tenant
+// advances half as fast and gets twice the dispatches).
+type tenantQ struct {
+	cfg   TenantConfig
+	jobs  []*queuedJob
+	vtime float64
+}
+
+// siteSched is the per-site dispatcher: the fair-share queues for work
+// submitted (or stolen to) this site.
+type siteSched struct {
+	bind    SiteBinding
+	tenants map[string]*tenantQ
+}
+
+func (ss *siteSched) queueLen() int {
+	n := 0
+	for _, t := range ss.tenants {
+		n += len(t.jobs)
+	}
+	return n
+}
+
+// maxWeight bounds tenant weights so no share dominates unboundedly.
+const maxWeight = 8
+
+// Scheduler is the federation-wide experiment scheduler. One instance
+// spans all sites; per-site dispatchers keep submission locality while
+// routing and stealing span the fleet.
+type Scheduler struct {
+	eng     *sim.Engine
+	net     *netsim.Network
+	fab     *bus.Fabric
+	metrics *telemetry.Registry
+	opts    Options
+
+	sites    map[netsim.SiteID]*siteSched
+	order    []netsim.SiteID
+	inflight map[string]int // dispatched-but-incomplete per instrument instance
+	transit  []*queuedJob   // stolen jobs riding the WAN between site queues
+
+	queued int
+	flying int
+
+	pumpQueued bool
+	stopTicker func()
+}
+
+// New builds a scheduler on the engine, network, and bus fabric, reporting
+// into the given telemetry registry. Gauges are registered eagerly so the
+// metric surface is visible before traffic flows.
+func New(eng *sim.Engine, net *netsim.Network, fab *bus.Fabric,
+	metrics *telemetry.Registry, opts Options) *Scheduler {
+
+	opts.defaults()
+	s := &Scheduler{
+		eng:      eng,
+		net:      net,
+		fab:      fab,
+		metrics:  metrics,
+		opts:     opts,
+		sites:    make(map[netsim.SiteID]*siteSched),
+		inflight: make(map[string]int),
+	}
+	metrics.Gauge("sched.queue_depth")
+	metrics.Gauge("sched.inflight")
+	metrics.Gauge("sched.utilization")
+	metrics.Histogram("sched.wait_s")
+	metrics.Counter("sched.steals")
+	return s
+}
+
+// AddSite registers a federation site with the scheduler.
+func (s *Scheduler) AddSite(b SiteBinding) {
+	s.sites[b.ID] = &siteSched{bind: b, tenants: make(map[string]*tenantQ)}
+	s.order = append(s.order, b.ID)
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+}
+
+// Start launches the background sweep that expires overdue queued jobs
+// and re-drives queues whose wake-up events were lost. Idempotent; Submit
+// starts it lazily, so a federation that never schedules pays for no
+// ticker events.
+func (s *Scheduler) Start() {
+	if s.stopTicker != nil || s.opts.RepumpInterval <= 0 {
+		return
+	}
+	s.stopTicker = s.eng.Ticker(s.opts.RepumpInterval, func(int) {
+		if s.queued == 0 {
+			return
+		}
+		s.expireQueued()
+		s.pumpAll()
+	})
+}
+
+// Stop cancels the background sweep so the event queue can drain.
+func (s *Scheduler) Stop() {
+	if s.stopTicker != nil {
+		s.stopTicker()
+		s.stopTicker = nil
+	}
+}
+
+// Tenant registers (or updates) a fair-share tenant at a site. Submitting
+// under an unregistered tenant ID auto-registers it with defaults.
+func (s *Scheduler) Tenant(site netsim.SiteID, cfg TenantConfig) {
+	ss := s.sites[site]
+	if ss == nil {
+		return
+	}
+	ss.tenant(cfg)
+}
+
+func (ss *siteSched) tenant(cfg TenantConfig) *tenantQ {
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	if cfg.Weight < 0.05 {
+		cfg.Weight = 0.05
+	}
+	if cfg.Weight > maxWeight {
+		cfg.Weight = maxWeight
+	}
+	t, ok := ss.tenants[cfg.ID]
+	if !ok {
+		t = &tenantQ{cfg: cfg}
+		ss.tenants[cfg.ID] = t
+	} else {
+		t.cfg = cfg
+	}
+	return t
+}
+
+// QueueDepth reports jobs waiting across all site queues.
+func (s *Scheduler) QueueDepth() int { return s.queued }
+
+// InFlight reports jobs dispatched but not yet completed.
+func (s *Scheduler) InFlight() int { return s.flying }
+
+// Capacity reports the fleet-wide dispatch capacity: registered
+// instruments times the per-instrument in-flight cap.
+func (s *Scheduler) Capacity() int {
+	n := 0
+	for _, id := range s.order {
+		n += s.sites[id].bind.Fleet.Size()
+	}
+	return n * s.opts.MaxInFlightPerInstrument
+}
+
+// Submit enqueues a job at its origin site's fair-share queue; cb runs
+// exactly once with the instrument result or a terminal error. Dispatch is
+// asynchronous: drive the engine to make progress.
+func (s *Scheduler) Submit(j Job, cb func(instrument.Result, error)) {
+	ss := s.sites[j.Origin]
+	if ss == nil {
+		cb(instrument.Result{}, fmt.Errorf("%w: %q", ErrUnknownSite, j.Origin))
+		return
+	}
+	if j.Tenant == "" {
+		cb(instrument.Result{}, ErrUnknownTenant)
+		return
+	}
+	if j.Timeout <= 0 {
+		j.Timeout = 48 * sim.Hour
+	}
+	s.Start()
+	t, ok := ss.tenants[j.Tenant]
+	if !ok {
+		t = ss.tenant(TenantConfig{ID: j.Tenant})
+	}
+	ss.syncVtime(t)
+	t.jobs = append(t.jobs, &queuedJob{job: j, cfg: t.cfg, cb: cb, enqueued: s.eng.Now()})
+	s.queued++
+	s.metrics.Counter("sched.submitted").Inc()
+	s.gauges()
+	s.schedulePump()
+}
+
+// schedulePump coalesces pump requests into one zero-delay event so
+// submissions from completion callbacks never recurse into dispatch.
+func (s *Scheduler) schedulePump() {
+	if s.pumpQueued {
+		return
+	}
+	s.pumpQueued = true
+	s.eng.Schedule(0, func() {
+		s.pumpQueued = false
+		s.pumpAll()
+	})
+}
+
+// pumpAll drives every site dispatcher in deterministic order.
+func (s *Scheduler) pumpAll() {
+	for _, id := range s.order {
+		s.pumpSite(s.sites[id])
+	}
+	s.gauges()
+}
+
+// pumpSite dispatches as much of the site's queue as routing allows, then
+// considers stealing if the queue ran dry while local capacity idles.
+//
+// Service order is priority then weighted fair share: active tenants are
+// grouped by effective class (base class plus aging) and the classes are
+// tried from highest to lowest; within a class, tenants go in virtual-time
+// order (furthest behind their share first), and each dispatch advances
+// the winner's vtime by 1/weight — the deficit-round-robin discipline
+// realized as strides, which stays exact when probes fail. An unroutable
+// head job drops its tenant for the rest of the pump without advancing
+// vtime, and a lower class backfills capacity a blocked higher class
+// cannot use — a blocked kind never idles the fleet, and the blocked
+// tenant keeps its place in the fair order (plus aging) for next time.
+//
+// The order is built once per pump, not per dispatch: virtual time is
+// frozen inside the pump (so effective classes cannot change) and
+// dispatches only consume capacity (so a blocked head stays blocked);
+// only the winner's position moves, by one sorted reinsertion.
+func (s *Scheduler) pumpSite(ss *siteSched) {
+	ids := make([]string, 0, len(ss.tenants))
+	for id, t := range ss.tenants {
+		if len(t.jobs) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	byClass := make(map[int][]*tenantQ)
+	var classes []int
+	for _, id := range ids {
+		t := ss.tenants[id]
+		c := s.effClass(t)
+		if _, ok := byClass[c]; !ok {
+			classes = append(classes, c)
+		}
+		byClass[c] = append(byClass[c], t)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(classes)))
+	before := func(a, b *tenantQ) bool {
+		if a.vtime != b.vtime {
+			return a.vtime < b.vtime
+		}
+		return a.cfg.ID < b.cfg.ID
+	}
+	for _, cl := range classes {
+		group := byClass[cl]
+		sort.SliceStable(group, func(i, j int) bool { return before(group[i], group[j]) })
+		for len(group) > 0 {
+			t := group[0]
+			group = group[1:]
+			if !s.tryDispatch(ss, t) {
+				continue // blocked for the rest of this pump
+			}
+			t.vtime += 1 / t.cfg.Weight
+			if len(t.jobs) == 0 {
+				continue
+			}
+			i := sort.Search(len(group), func(j int) bool { return before(t, group[j]) })
+			group = append(group[:i], append([]*tenantQ{t}, group[i:]...)...)
+		}
+	}
+	if ss.queueLen() == 0 {
+		s.maybeSteal(ss)
+	}
+}
+
+// effClass is a tenant's effective priority class: its base class promoted
+// one step per AgingStep its head job has waited, capped one step above
+// ClassUrgent so even background work eventually outranks fresh urgent
+// traffic (the starvation-free guarantee).
+func (s *Scheduler) effClass(t *tenantQ) int {
+	c := int(t.cfg.Class)
+	if s.opts.AgingStep > 0 && len(t.jobs) > 0 {
+		c += int((s.eng.Now() - t.jobs[0].enqueued) / s.opts.AgingStep)
+	}
+	if c > int(ClassUrgent)+1 {
+		c = int(ClassUrgent) + 1
+	}
+	return c
+}
+
+// syncVtime pulls a tenant re-entering service up to the active minimum so
+// a long-idle (or brand-new) tenant cannot flood the fleet catching up on
+// share it never queued for.
+func (ss *siteSched) syncVtime(t *tenantQ) {
+	if len(t.jobs) > 0 {
+		return
+	}
+	floor, ok := 0.0, false
+	for _, o := range ss.tenants {
+		if o != t && len(o.jobs) > 0 && (!ok || o.vtime < floor) {
+			floor, ok = o.vtime, true
+		}
+	}
+	if ok && t.vtime < floor {
+		t.vtime = floor
+	}
+}
+
+// expireQueued fails jobs that outlived their Timeout while still queued,
+// honoring Submit's promise of a terminal outcome even when every
+// candidate instrument stays down or unreachable. Tenants are scanned in
+// sorted order so expiry callbacks fire deterministically, and removal
+// happens before any callback runs so callbacks may safely resubmit.
+func (s *Scheduler) expireQueued() {
+	now := s.eng.Now()
+	var expired []*queuedJob
+	for _, id := range s.order {
+		ss := s.sites[id]
+		ids := make([]string, 0, len(ss.tenants))
+		for tid := range ss.tenants {
+			ids = append(ids, tid)
+		}
+		sort.Strings(ids)
+		for _, tid := range ids {
+			t := ss.tenants[tid]
+			keep := t.jobs[:0]
+			for _, qj := range t.jobs {
+				if now-qj.enqueued >= qj.job.Timeout {
+					s.queued--
+					expired = append(expired, qj)
+					continue
+				}
+				keep = append(keep, qj)
+			}
+			t.jobs = keep
+		}
+	}
+	for _, qj := range expired {
+		s.metrics.Counter("sched.expired").Inc()
+		qj.cb(instrument.Result{}, fmt.Errorf("%w: kind %s queued %v",
+			ErrExpired, qj.job.Kind, now-qj.enqueued))
+	}
+	if len(expired) > 0 {
+		s.gauges()
+	}
+}
+
+// ReleaseTenant drops a finished tenant's fair-share queues at every site
+// (stealing may have spread them). Jobs still queued are failed with
+// ErrCanceled — after all removals, so callbacks may safely submit — and
+// in-flight dispatches are unaffected. Without release, a long-lived
+// federation would accumulate one queue per campaign ever run, and a
+// failed campaign's orphans would squat in the fair-share order until
+// their timeouts.
+func (s *Scheduler) ReleaseTenant(id string) {
+	var canceled []*queuedJob
+	for _, sid := range s.order {
+		ss := s.sites[sid]
+		if t := ss.tenants[id]; t != nil {
+			canceled = append(canceled, t.jobs...)
+			s.queued -= len(t.jobs)
+			delete(ss.tenants, id)
+		}
+	}
+	// Jobs mid-steal live in neither queue; mark them so the arrival
+	// closure drops them instead of resurrecting the tenant.
+	for _, qj := range s.transit {
+		if qj.job.Tenant == id && !qj.canceled {
+			qj.canceled = true
+			canceled = append(canceled, qj)
+		}
+	}
+	for _, qj := range canceled {
+		s.metrics.Counter("sched.canceled").Inc()
+		qj.cb(instrument.Result{}, fmt.Errorf("%w: tenant %s released", ErrCanceled, id))
+	}
+	if len(canceled) > 0 {
+		s.gauges()
+	}
+}
+
+// unTransit removes an arrived steal batch from the in-transit list.
+func (s *Scheduler) unTransit(batch []*queuedJob) {
+	arrived := make(map[*queuedJob]bool, len(batch))
+	for _, qj := range batch {
+		arrived[qj] = true
+	}
+	keep := s.transit[:0]
+	for _, qj := range s.transit {
+		if !arrived[qj] {
+			keep = append(keep, qj)
+		}
+	}
+	s.transit = keep
+}
+
+// tryDispatch routes and dispatches the tenant's head job, reporting
+// whether it went out.
+func (s *Scheduler) tryDispatch(ss *siteSched, t *tenantQ) bool {
+	qj := t.jobs[0]
+	rec, ok := s.route(ss, qj.job)
+	if !ok {
+		return false
+	}
+	t.jobs = t.jobs[1:]
+	s.queued--
+	s.dispatch(ss, qj, rec)
+	return true
+}
+
+// estimate is the expected action duration on the instrument behind rec,
+// derived from its advertised throughput.
+func (s *Scheduler) estimate(rec discovery.Record) sim.Time {
+	if tph := rec.Capabilities["throughput_per_hr"]; tph > 0 {
+		return sim.Time(float64(sim.Hour) / tph)
+	}
+	return s.opts.DefaultEstimate
+}
+
+// rtt is the round-trip WAN latency between two sites (LAN loopback for
+// the same site).
+func (s *Scheduler) rtt(a, b netsim.SiteID) sim.Time {
+	if a == b {
+		if site := s.net.Site(a); site != nil {
+			return 2 * site.LANLatency
+		}
+		return 0
+	}
+	if l := s.net.LinkBetween(a, b); l != nil {
+		return 2 * l.Latency
+	}
+	return 0
+}
+
+// instrumentFor resolves the live instrument behind a directory record
+// when its owning site is bound to this scheduler (nil for foreign sites —
+// routing then relies on in-flight accounting alone).
+func (s *Scheduler) instrumentFor(rec discovery.Record) *instrument.Instrument {
+	host := s.sites[rec.Addr.Site]
+	if host == nil {
+		return nil
+	}
+	id := rec.Instance
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[i+1:]
+	}
+	in, _ := host.bind.Fleet.Get(id)
+	return in
+}
+
+// route scores every compatible instrument in the federation and returns
+// the cheapest: expected wait from scheduler-tracked in-flight load, a
+// penalty for instruments mid-calibration, and the WAN round trip from the
+// origin. Down instruments and saturated instruments are skipped; ties
+// break on instance name for determinism.
+func (s *Scheduler) route(ss *siteSched, j Job) (discovery.Record, bool) {
+	var best discovery.Record
+	bestScore := sim.Time(0)
+	found := false
+candidates:
+	for _, rec := range ss.bind.Registry.Browse(j.Kind) {
+		for cap, floor := range j.MinCaps {
+			if rec.Capabilities[cap] < floor {
+				continue candidates
+			}
+		}
+		if s.inflight[rec.Instance] >= s.opts.MaxInFlightPerInstrument {
+			continue
+		}
+		if !s.net.Reachable(ss.bind.ID, rec.Addr.Site, "bus") {
+			continue
+		}
+		est := s.estimate(rec)
+		score := sim.Time(s.inflight[rec.Instance])*est + s.rtt(ss.bind.ID, rec.Addr.Site)
+		if in := s.instrumentFor(rec); in != nil {
+			switch in.State() {
+			case instrument.StateDown:
+				continue
+			case instrument.StateCalibrating:
+				score += 30 * sim.Minute
+			}
+		}
+		if !found || score < bestScore || (score == bestScore && rec.Instance < best.Instance) {
+			best, bestScore, found = rec, score, true
+		}
+	}
+	return best, found
+}
+
+// dispatch ships the job to the chosen instrument over the bus and wires
+// the completion path: accounting, metrics, the submitter's callback, and
+// a pump of the instrument's host site (which observed capacity free up)
+// then the origin site.
+func (s *Scheduler) dispatch(ss *siteSched, qj *queuedJob, rec discovery.Record) {
+	inst := rec.Instance
+	s.inflight[inst]++
+	s.flying++
+	s.metrics.Histogram("sched.wait_s").Observe((s.eng.Now() - qj.enqueued).Seconds())
+	s.metrics.Counter("sched.dispatched").Inc()
+	if rec.Addr.Site != ss.bind.ID {
+		s.metrics.Counter("sched.remote_dispatches").Inc()
+	}
+	s.gauges()
+
+	var token any
+	if ss.bind.Token != nil {
+		token = ss.bind.Token()
+	}
+	origin := ss.bind.ID
+	host := rec.Addr.Site
+	// Timeout covers queueing plus the action: time already spent waiting
+	// in the scheduler queue comes out of the RPC budget.
+	remaining := qj.job.Timeout - (s.eng.Now() - qj.enqueued)
+	if remaining < sim.Second {
+		remaining = sim.Second
+	}
+	s.fab.Call(bus.CallOpts{
+		From:    bus.Address{Site: origin, Name: "sched"},
+		To:      rec.Addr,
+		Method:  "run",
+		Payload: qj.job.Cmd,
+		Token:   token,
+		Size:    512,
+		Timeout: remaining,
+	}, func(result any, err error) {
+		s.inflight[inst]--
+		s.flying--
+		if err != nil {
+			s.metrics.Counter("sched.failures").Inc()
+			qj.cb(instrument.Result{}, err)
+		} else if res, ok := result.(instrument.Result); ok {
+			s.metrics.Counter("sched.completed").Inc()
+			qj.cb(res, nil)
+		} else {
+			s.metrics.Counter("sched.failures").Inc()
+			qj.cb(instrument.Result{}, fmt.Errorf("sched: unexpected reply type %T", result))
+		}
+		// The host freed capacity and gets first claim on it; the origin
+		// follows (it may have backlog for other instruments).
+		if hs := s.sites[host]; hs != nil {
+			s.pumpSite(hs)
+		}
+		if host != origin {
+			s.pumpSite(ss)
+		}
+		s.gauges()
+	})
+}
+
+// localSpare reports whether the site hosts an instrument that could
+// accept another dispatch right now.
+func (s *Scheduler) localSpare(ss *siteSched) bool {
+	for _, id := range ss.bind.Fleet.IDs() {
+		in, _ := ss.bind.Fleet.Get(id)
+		if in == nil || in.State() == instrument.StateDown {
+			continue
+		}
+		if s.inflight[string(ss.bind.ID)+"/"+id] < s.opts.MaxInFlightPerInstrument {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeSteal runs when a site's queue is dry: if the site still has spare
+// instrument capacity, it takes half the deepest peer backlog (newest jobs
+// first, only kinds routable from here), paying one WAN round trip before
+// the work lands in its own queues.
+func (s *Scheduler) maybeSteal(ss *siteSched) {
+	if s.opts.StealThreshold <= 0 || !s.localSpare(ss) {
+		return
+	}
+	var victim *siteSched
+	deepest := s.opts.StealThreshold - 1
+	for _, id := range s.order {
+		o := s.sites[id]
+		if o == ss {
+			continue
+		}
+		if q := o.queueLen(); q > deepest {
+			deepest, victim = q, o
+		}
+	}
+	if victim == nil {
+		return
+	}
+	want := (victim.queueLen() + 1) / 2
+	stolen := s.stealFrom(victim, ss, want)
+	if len(stolen) == 0 {
+		return
+	}
+	s.metrics.Counter("sched.steals").Add(int64(len(stolen)))
+	s.transit = append(s.transit, stolen...)
+	delay := s.rtt(victim.bind.ID, ss.bind.ID)
+	s.eng.Schedule(delay, func() {
+		s.unTransit(stolen)
+		for _, qj := range stolen {
+			if qj.canceled {
+				continue // tenant released while the batch was in flight
+			}
+			qj.job.Origin = ss.bind.ID
+			t, ok := ss.tenants[qj.job.Tenant]
+			if !ok {
+				t = ss.tenant(qj.cfg)
+			}
+			ss.syncVtime(t)
+			t.jobs = append(t.jobs, qj)
+			s.queued++
+		}
+		s.pumpSite(ss)
+		s.gauges()
+	})
+}
+
+// stealFrom removes up to want jobs from the victim's queue tails,
+// round-robin across its tenants, skipping kinds the thief cannot see.
+func (s *Scheduler) stealFrom(victim, thief *siteSched, want int) []*queuedJob {
+	var ids []string
+	for id, t := range victim.tenants {
+		if len(t.jobs) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	var out []*queuedJob
+	for len(out) < want {
+		took := false
+		for _, id := range ids {
+			t := victim.tenants[id]
+			if len(t.jobs) == 0 || len(out) >= want {
+				continue
+			}
+			qj := t.jobs[len(t.jobs)-1]
+			if len(thief.bind.Registry.Browse(qj.job.Kind)) == 0 {
+				continue
+			}
+			t.jobs = t.jobs[:len(t.jobs)-1]
+			s.queued--
+			out = append(out, qj)
+			took = true
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// gauges refreshes the point-in-time scheduler metrics.
+func (s *Scheduler) gauges() {
+	s.metrics.Gauge("sched.queue_depth").Set(float64(s.queued))
+	s.metrics.Gauge("sched.inflight").Set(float64(s.flying))
+	if c := s.Capacity(); c > 0 {
+		s.metrics.Gauge("sched.utilization").Set(float64(s.flying) / float64(c))
+	}
+}
