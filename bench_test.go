@@ -6,14 +6,9 @@
 package aisle
 
 import (
-	"fmt"
 	"testing"
 
-	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/experiments"
-	"github.com/aisle-sim/aisle/internal/instrument"
-	"github.com/aisle-sim/aisle/internal/sim"
-	"github.com/aisle-sim/aisle/internal/twin"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -92,61 +87,24 @@ func BenchmarkE15SchedSaturation(b *testing.B) { benchExperiment(b, "E15") }
 // federation through the scheduler at the given per-campaign parallelism,
 // reporting wall time per full saturation run and virtual campaign
 // throughput. This is the heavy-multi-tenant-traffic scenario from the
-// roadmap's north star.
+// roadmap's north star; the workload itself lives in
+// experiments.RunSaturation so aisle-bench's BENCH_optimize.json recorder
+// measures exactly the same thing.
 func benchConcurrentCampaigns(b *testing.B, parallelism int) {
 	b.Helper()
-	const (
-		nSites  = 4
-		nCamps  = 200
-		nBudget = 6
-	)
+	const nCamps = 200
 	var camphSum float64
 	for i := 0; i < b.N; i++ {
-		sites := []SiteID{"ornl", "anl", "slac", "pnnl"}
-		n := core.New(core.Config{Seed: uint64(42 + i), Sites: sites, Link: core.DefaultLink()})
-		for _, id := range sites {
-			s := n.Site(id)
-			for k := 0; k < 2; k++ {
-				s.AddInstrument(instrument.NewFluidicReactor(
-					n.Eng, n.Rnd, fmt.Sprintf("flow-%d-%s", k, id), string(id), twin.Perovskite{}))
-			}
-		}
-		if err := n.RunFor(3 * sim.Minute); err != nil {
+		res, err := experiments.RunSaturation(experiments.SaturationSpec{
+			Seed:        uint64(42 + i),
+			Campaigns:   nCamps,
+			Budget:      6,
+			Parallelism: parallelism,
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
-		start := n.Eng.Now()
-		finish := start
-		done := 0
-		for c := 0; c < nCamps; c++ {
-			n.RunCampaign(core.CampaignConfig{
-				Name:        fmt.Sprintf("bench-%03d", c),
-				Site:        sites[c%len(sites)],
-				Model:       twin.Perovskite{},
-				Budget:      nBudget,
-				Mode:        core.OrchAgentVerified,
-				SynthKind:   instrument.KindFlowReactor,
-				Parallelism: parallelism,
-			}, func(r *core.CampaignReport) {
-				done++
-				if r.Err != nil {
-					b.Error(r.Err)
-				}
-				if r.Finished > finish {
-					finish = r.Finished
-				}
-			})
-		}
-		deadline := n.Eng.Now() + 60*sim.Day
-		for done < nCamps && n.Eng.Now() < deadline {
-			if err := n.RunFor(sim.Hour); err != nil {
-				b.Fatal(err)
-			}
-		}
-		n.Stop()
-		if done != nCamps {
-			b.Fatalf("only %d/%d campaigns completed", done, nCamps)
-		}
-		camphSum += float64(nCamps) / ((finish - start).Seconds() / 3600)
+		camphSum += float64(nCamps) / ((res.Finish - res.Start).Seconds() / 3600)
 	}
 	b.ReportMetric(camphSum/float64(b.N), "vcampaigns/hr")
 }

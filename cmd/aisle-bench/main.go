@@ -23,11 +23,21 @@ func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	replicas := flag.Int("replicas", 0, "replicas per condition (0 = default)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	gpbench := flag.Bool("gpbench", false, "benchmark the GP/BO engine and record BENCH_optimize.json")
+	gpmacro := flag.Bool("macro", false, "with -gpbench, include the 200-campaign scheduler macro benchmarks")
+	gpout := flag.String("out", "BENCH_optimize.json", "with -gpbench, the report path")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-5s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *gpbench {
+		if err := runGPBench(*gpout, *gpmacro); err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -7,6 +7,12 @@ package core
 // executing experiments, and every completion immediately refills the
 // pipeline — so campaign throughput tracks fleet capacity, not the sum of
 // decision and action latencies.
+//
+// The per-decision hot path underneath is the incremental GP engine in
+// internal/optimize (O(n^2) factor appends, fantasy overlay, allocation-
+// free batch scoring) plus the scheduler's clone-free directory routing
+// (discovery.BrowseFunc); together they keep saturated multi-tenant
+// refills off every cubic or allocating path.
 
 import (
 	"fmt"
@@ -62,11 +68,13 @@ func (c *campaign) inflightPoints() []param.Point {
 // nextPoint draws one intended point, fantasizing over the still-in-flight
 // points (constant liar) so the proposal does not duplicate executing
 // experiments. Asking per freed slot — rather than buffering a batch —
-// costs the same one GP refit per point and means every proposal sees all
-// evidence Telled so far. A federation knowledge hit is consumed instead
-// (ok=false): the known value feeds the optimizer without costing a flight
-// slot, and the caller pays the catalog-lookup latency before drawing
-// again.
+// means every proposal sees all evidence Telled so far, and it is cheap:
+// the optimizer's fantasy overlay appends the in-flight rows to the shared
+// Cholesky factor in O(n^2) each and retracts them by truncation, so a
+// refill never refits the surrogate. A federation knowledge hit is
+// consumed instead (ok=false): the known value feeds the optimizer without
+// costing a flight slot, and the caller pays the catalog-lookup latency
+// before drawing again.
 func (c *campaign) nextPoint() (param.Point, bool) {
 	var p param.Point
 	if fly := c.inflightPoints(); len(fly) > 0 {

@@ -14,6 +14,7 @@ package discovery
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -61,6 +62,35 @@ type Registry struct {
 	site    netsim.SiteID
 	dir     *Directory
 	records map[string]*Record
+
+	// Read-path acceleration: routing browses the directory on every
+	// scheduler dispatch attempt, so lookups must not rescan and re-sort
+	// the record map. typeIdx caches a sorted per-type record index,
+	// rebuilt lazily when gen (bumped on any membership or type change)
+	// moves past the cached generation; nextExpiry is a conservative
+	// lower bound on the earliest lease expiry so expire is O(1) until a
+	// lease can actually lapse.
+	gen        uint64
+	typeIdx    map[string]*typeIndex
+	nextExpiry sim.Time
+}
+
+// typeIndex is the cached Browse result set for one service type.
+type typeIndex struct {
+	gen  uint64
+	recs []*Record // sorted by instance name; includes tombstones
+}
+
+// noExpiry marks an empty registry's expiry bound.
+const noExpiry = sim.Time(math.MaxInt64)
+
+// touch invalidates the read caches after a membership or type change and
+// folds a record's lease into the expiry bound.
+func (r *Registry) touch(expires sim.Time) {
+	r.gen++
+	if expires < r.nextExpiry {
+		r.nextExpiry = expires
+	}
 }
 
 // Directory wires the per-site registries together with gossip.
@@ -142,6 +172,7 @@ func (r *Registry) Register(rec Record) {
 	rec.UpdatedAt = r.dir.eng.Now()
 	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
 	r.records[rec.Instance] = rec.clone()
+	r.gen++
 	r.dir.metrics.Counter("discovery.registrations").Inc()
 }
 
@@ -170,31 +201,99 @@ func (r *Registry) Deregister(instance string) bool {
 	rec.UpdatedAt = r.dir.eng.Now()
 	// Tombstones linger one TTL so gossip can spread them.
 	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
+	r.touch(rec.ExpiresAt)
 	return true
 }
 
 // expire drops records whose lease lapsed. Tombstones and foreign records
-// both expire; owners keep their live records fresh via Renew.
+// both expire; owners keep their live records fresh via Renew. The scan is
+// skipped entirely while the clock sits below the earliest possible expiry,
+// so steady-state reads pay one comparison.
 func (r *Registry) expire() {
 	now := r.dir.eng.Now()
+	if now < r.nextExpiry {
+		return
+	}
+	next := noExpiry
+	removed := 0
 	for name, rec := range r.records {
 		if now >= rec.ExpiresAt && !(rec.Origin == r.site && !rec.Deleted) {
 			delete(r.records, name)
+			removed++
 			r.dir.metrics.Counter("discovery.expirations").Inc()
+			continue
+		}
+		if rec.ExpiresAt < next && !(rec.Origin == r.site && !rec.Deleted) {
+			next = rec.ExpiresAt
+		}
+	}
+	r.nextExpiry = next
+	if removed > 0 {
+		r.gen++
+	}
+}
+
+// typeIndexFor returns the cached sorted record set for a type, rebuilding
+// it when the registry changed since it was cached.
+func (r *Registry) typeIndexFor(serviceType string) *typeIndex {
+	if r.typeIdx == nil {
+		r.typeIdx = make(map[string]*typeIndex)
+	}
+	idx := r.typeIdx[serviceType]
+	if idx != nil && idx.gen == r.gen {
+		return idx
+	}
+	if idx == nil {
+		idx = &typeIndex{}
+		r.typeIdx[serviceType] = idx
+	}
+	idx.recs = idx.recs[:0]
+	for _, rec := range r.records {
+		if rec.Type == serviceType {
+			idx.recs = append(idx.recs, rec)
+		}
+	}
+	sort.Slice(idx.recs, func(i, j int) bool { return idx.recs[i].Instance < idx.recs[j].Instance })
+	idx.gen = r.gen
+	return idx
+}
+
+// BrowseFunc visits the live records of the given type in instance-name
+// order, without copying, until fn returns false. The records belong to
+// the registry: callers must not mutate or retain them across simulation
+// events. This is the allocation-free read path the federation scheduler
+// routes through on every dispatch attempt; Browse is the copying
+// convenience wrapper.
+func (r *Registry) BrowseFunc(serviceType string, fn func(*Record) bool) {
+	r.expire()
+	for _, rec := range r.typeIndexFor(serviceType).recs {
+		if rec.Deleted {
+			continue
+		}
+		if !fn(rec) {
+			return
 		}
 	}
 }
 
+// HasType reports whether any live record of the type is visible, without
+// allocating.
+func (r *Registry) HasType(serviceType string) bool {
+	found := false
+	r.BrowseFunc(serviceType, func(*Record) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
 // Browse lists live records of the given type, sorted by instance name.
 func (r *Registry) Browse(serviceType string) []Record {
-	r.expire()
 	var out []Record
-	for _, rec := range r.records {
-		if rec.Type == serviceType && !rec.Deleted {
-			out = append(out, *rec.clone())
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	r.BrowseFunc(serviceType, func(rec *Record) bool {
+		out = append(out, *rec.clone())
+		return true
+	})
 	return out
 }
 
@@ -250,6 +349,7 @@ func (r *Registry) merge(in []*Record) int {
 		// TTL from the moment we learned of it.
 		c.ExpiresAt = now + c.TTL
 		r.records[rec.Instance] = c
+		r.touch(c.ExpiresAt)
 		changed++
 	}
 	if changed > 0 {
@@ -332,35 +432,31 @@ type Requirement struct {
 }
 
 // Negotiate selects the best qualifying instance visible from this
-// registry. It reports false when nothing qualifies.
+// registry. It reports false when nothing qualifies. Only the winning
+// record is copied, so negotiation on the campaign hot path stays cheap.
 func (r *Registry) Negotiate(req Requirement) (Record, bool) {
-	candidates := r.Browse(req.Type)
-	best := -1
+	var best *Record
 	bestScore := 0.0
-	for i, c := range candidates {
-		ok := true
+	r.BrowseFunc(req.Type, func(c *Record) bool {
 		for cap, floor := range req.MinCaps {
 			if c.Capabilities[cap] < floor {
-				ok = false
-				break
+				return true
 			}
-		}
-		if !ok {
-			continue
 		}
 		score := 1.0
 		if req.Prefer != "" {
 			score = c.Capabilities[req.Prefer]
 		}
-		if best == -1 || score > bestScore {
-			best, bestScore = i, score
+		if best == nil || score > bestScore {
+			best, bestScore = c, score
 		}
-	}
-	if best == -1 {
+		return true
+	})
+	if best == nil {
 		return Record{}, false
 	}
 	r.dir.metrics.Counter("discovery.negotiations").Inc()
-	return candidates[best], true
+	return *best.clone(), true
 }
 
 // String renders a record compactly for logs.

@@ -2,6 +2,8 @@ package optimize
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"github.com/aisle-sim/aisle/internal/param"
 	"github.com/aisle-sim/aisle/internal/rng"
@@ -54,9 +56,15 @@ type BayesOpts struct {
 	// Noise is the GP observation-noise variance. Default 1e-4.
 	Noise float64
 	// MaxFit bounds the GP training-set size; older observations beyond the
-	// bound are dropped (keeps O(n^3) fits tractable in long campaigns).
+	// bound are dropped (keeps the factor bounded in long campaigns).
 	// Default 256.
 	MaxFit int
+	// ScoreWorkers caps the goroutines that score the candidate pool.
+	// Default (0) uses GOMAXPROCS. Scoring is a pure function of the
+	// shared posterior — workers consume no randomness and results merge
+	// by candidate index — so any worker count returns the identical
+	// point for a fixed seed.
+	ScoreWorkers int
 }
 
 func (o *BayesOpts) defaults(dims int) {
@@ -89,10 +97,63 @@ func (o *BayesOpts) defaults(dims int) {
 	}
 }
 
+// candPool holds the reusable candidate-generation and scoring buffers, so
+// a steady-state Ask allocates only the returned point.
+type candPool struct {
+	pts    []param.Point // reused candidate maps
+	units  []float64     // flat unit-cube coordinates, total*dims
+	uview  [][]float64   // per-candidate views into units
+	mu     []float64
+	va     []float64
+	scores []float64
+
+	// Fantasy-overlay scoring state (AskBatch k>1): standardized means,
+	// solve norms, prior variances, and the per-candidate forward solves
+	// that make each constant-liar update O(n) per candidate.
+	mustd  []float64
+	vvs    []float64
+	kxx    []float64
+	picked []bool
+	vcache []float64
+
+	scratch []PredictScratch // one per scoring worker
+
+	ubuf     []float64 // single-point ToUnit scratch
+	fitUnits []float64 // full-refit buffers
+	fitXs    [][]float64
+	fitYs    []float64
+	fitNoise []float64
+}
+
+func (c *candPool) ensure(total, dims, workers int) {
+	for len(c.pts) < total {
+		c.pts = append(c.pts, make(param.Point, dims))
+	}
+	c.units = growTo(c.units, total*dims)
+	if cap(c.uview) < total {
+		c.uview = make([][]float64, total)
+	}
+	c.uview = c.uview[:total]
+	for i := 0; i < total; i++ {
+		c.uview[i] = c.units[i*dims : (i+1)*dims]
+	}
+	c.mu = growTo(c.mu, total)
+	c.va = growTo(c.va, total)
+	c.scores = growTo(c.scores, total)
+	for len(c.scratch) < workers {
+		c.scratch = append(c.scratch, PredictScratch{})
+	}
+}
+
 // Bayes is a Gaussian-process Bayesian optimizer with native support for
 // discrete-continuous spaces: candidates are snapped to parameter lattices
 // before scoring, the nested strategy the paper describes for real
 // experimental hardware.
+//
+// The surrogate is maintained incrementally: Tell marks the model stale and
+// the next decision extends the shared Cholesky factor by one O(n^2) row
+// append instead of refitting in O(n^3). AskBatch fantasizes constant-liar
+// rows against the same factor and retracts them by truncation.
 type Bayes struct {
 	space param.Space
 	rnd   *rng.Stream
@@ -101,10 +162,14 @@ type Bayes struct {
 	obs      []Observation
 	initPlan []param.Point
 	gp       *GP
+	gpLo     int // index into obs of the first GP row
+	gpHi     int // index into obs one past the last valid GP row
 	stale    bool
 
 	bestP param.Point
 	bestV float64
+
+	cand candPool
 }
 
 // NewBayes builds a Bayesian optimizer over the space.
@@ -128,19 +193,15 @@ func (b *Bayes) N() int { return len(b.obs) }
 func (b *Bayes) Best() (param.Point, float64) { return b.bestP, b.bestV }
 
 // Seed imports observations from another facility (transfer learning).
-// weight in (0,1] down-weights foreign evidence by inflating its noise.
+// weight in (0,1] down-weights foreign evidence by inflating its GP noise.
+// Transferred values inform the surrogate only; campaigns track their own
+// locally-confirmed best, so bestP/bestV update only on local Tell.
 func (b *Bayes) Seed(points []param.Point, values []float64, weight float64) {
 	if weight <= 0 || weight > 1 {
 		weight = 0.5
 	}
 	for i := range points {
 		b.obs = append(b.obs, Observation{Point: points[i].Clone(), Value: values[i], Weight: weight})
-		if values[i] > b.bestV {
-			// Transferred best still counts as knowledge, but campaigns
-			// track their own locally-confirmed best; we update bestP only
-			// on local Tell. Stored here for the surrogate only.
-			_ = i
-		}
 	}
 	b.stale = true
 	// Seeding replaces part of the LHS warm-up: each seeded point removes
@@ -163,15 +224,18 @@ func (b *Bayes) Tell(p param.Point, value float64) {
 }
 
 // AskBatch proposes k points for parallel evaluation using the
-// constant-liar strategy: after each Ask, the pending point is given a
-// fantasy observation at the worst value seen so far (CL-min), which
-// collapses posterior variance around it and pushes subsequent asks toward
+// constant-liar strategy: each proposed point is given a fantasy
+// observation at the worst value seen so far (CL-min), which collapses
+// posterior variance around it and pushes subsequent asks toward
 // unexplored regions. Points already in flight elsewhere (asked earlier
 // but not yet told) are fantasized the same way first, so refill batches
-// do not re-propose experiments that are still executing. The fantasies
-// are retracted before returning, so the surrogate's real evidence is
-// untouched. During the LHS warm-up the plan already spreads points, and
-// the fantasies are harmless.
+// do not re-propose experiments that are still executing.
+//
+// Fantasies are an overlay on the shared Cholesky factor: each one appends
+// a row in O(n^2) (k > 1 batches then update cached candidate scores in
+// O(n) per candidate per fantasy), and retraction is a factor truncation —
+// the surrogate's real evidence is never refit. During the LHS warm-up the
+// plan already spreads points, and the fantasies are harmless.
 func (b *Bayes) AskBatch(k int, inflight []param.Point) []param.Point {
 	if k <= 1 && len(inflight) == 0 {
 		return []param.Point{b.Ask()}
@@ -191,20 +255,39 @@ func (b *Bayes) AskBatch(k int, inflight []param.Point) []param.Point {
 	saved := len(b.obs)
 	savedP, savedV := b.bestP, b.bestV
 	for _, p := range inflight {
-		b.obs = append(b.obs, Observation{Point: p.Clone(), Value: lie, Weight: 1})
+		b.fantasize(p, lie)
 	}
-	b.stale = len(inflight) > 0 || b.stale
 	out := make([]param.Point, 0, k)
-	for i := 0; i < k; i++ {
-		p := b.Ask()
+	// The LHS warm-up plan serves batch asks exactly as it serves serial
+	// ones.
+	for len(out) < k && len(b.initPlan) > 0 {
+		p := b.initPlan[0]
+		b.initPlan = b.initPlan[1:]
 		out = append(out, p)
-		b.obs = append(b.obs, Observation{Point: p.Clone(), Value: lie, Weight: 1})
-		b.stale = true
+		b.fantasize(p, lie)
+	}
+	if len(out) < k && len(b.obs) == 0 {
+		// No evidence at all: open uniformly, like a serial Ask would.
+		p := b.space.Sample(b.rnd)
+		out = append(out, p)
+		b.fantasize(p, lie)
+	}
+	if rem := k - len(out); rem > 0 {
+		out = append(out, b.askFantasies(rem, lie)...)
 	}
 	b.obs = b.obs[:saved]
+	if b.gpHi > saved {
+		b.gpHi = saved // fantasy rows beyond here retract at the next refit
+	}
 	b.bestP, b.bestV = savedP, savedV
 	b.stale = true
 	return out
+}
+
+// fantasize appends a constant-liar observation (retracted by AskBatch).
+func (b *Bayes) fantasize(p param.Point, lie float64) {
+	b.obs = append(b.obs, Observation{Point: p.Clone(), Value: lie, Weight: 1})
+	b.stale = true
 }
 
 // Ask implements Optimizer.
@@ -218,103 +301,365 @@ func (b *Bayes) Ask() param.Point {
 		return b.space.Sample(b.rnd)
 	}
 	b.refit()
+	return b.askScored(b.incumbent())
+}
 
+// incumbent is the EI reference value: the locally-confirmed best, or the
+// best transferred value when nothing local has been told yet.
+func (b *Bayes) incumbent() float64 {
 	best := b.bestV
 	if math.IsInf(best, -1) {
-		// Only transferred observations so far: use their max.
 		for _, o := range b.obs {
 			if o.Value > best {
 				best = o.Value
 			}
 		}
 	}
-
-	var bestCand param.Point
-	bestScore := math.Inf(-1)
-	consider := func(p param.Point) {
-		u := b.space.ToUnit(p)
-		mu, v := b.gp.Predict(u)
-		var score float64
-		if b.opts.Acq == AcqUCB {
-			score = UCB(mu, v, b.opts.UCBBeta)
-		} else {
-			score = ExpectedImprovement(mu, v, best, b.opts.XI)
-		}
-		if score > bestScore {
-			bestScore = score
-			bestCand = p
-		}
-	}
-
-	for i := 0; i < b.opts.Candidates; i++ {
-		consider(b.space.Sample(b.rnd))
-	}
-	// Local refinement around the incumbent.
-	if b.bestP != nil {
-		for i := 0; i < b.opts.LocalCandidates; i++ {
-			consider(b.perturb(b.bestP))
-		}
-	}
-	if bestCand == nil {
-		return b.space.Sample(b.rnd)
-	}
-	return bestCand
+	return best
 }
 
-// perturb samples near p with per-dimension Gaussian steps (10% of range),
-// snapped onto lattices.
-func (b *Bayes) perturb(p param.Point) param.Point {
-	out := make(param.Point, len(b.space))
+// askScored draws one candidate pool, scores it against the current
+// posterior, and returns the argmax (first index wins ties). With no
+// scorable candidate it falls back to a uniform sample.
+func (b *Bayes) askScored(best float64) param.Point {
+	m := b.drawCandidates()
+	b.scoreCandidates(m, best)
+	idx := -1
+	bestScore := math.Inf(-1)
+	for i := 0; i < m; i++ {
+		if b.cand.scores[i] > bestScore {
+			bestScore = b.cand.scores[i]
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return b.space.Sample(b.rnd)
+	}
+	return b.cand.pts[idx].Clone()
+}
+
+// workers resolves the scoring worker count.
+func (b *Bayes) workers() int {
+	w := b.opts.ScoreWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// drawCandidates fills the pool with Candidates uniform samples plus
+// LocalCandidates perturbations of the incumbent, reusing the pool's maps
+// and unit buffers. Draws come from the optimizer's own stream, in the
+// same order as serial asks, so a fixed seed proposes identical points
+// regardless of scoring parallelism.
+func (b *Bayes) drawCandidates() int {
+	dims := len(b.space)
+	m := b.opts.Candidates
+	total := m
+	if b.bestP != nil {
+		total += b.opts.LocalCandidates
+	}
+	b.cand.ensure(total, dims, b.workers())
+	for i := 0; i < m; i++ {
+		b.space.SampleInto(b.rnd, b.cand.pts[i])
+	}
+	for i := m; i < total; i++ {
+		b.perturbInto(b.cand.pts[i], b.bestP)
+	}
+	for i := 0; i < total; i++ {
+		b.space.ToUnitInto(b.cand.pts[i], b.cand.uview[i])
+	}
+	return total
+}
+
+// perturbInto samples near src with per-dimension Gaussian steps (10% of
+// range), snapped onto lattices.
+func (b *Bayes) perturbInto(dst param.Point, src param.Point) {
 	for _, d := range b.space {
 		sigma := (d.Hi - d.Lo) * 0.1
-		out[d.Name] = d.Snap(p[d.Name] + b.rnd.Normal(0, sigma))
+		dst[d.Name] = d.Snap(src[d.Name] + b.rnd.Normal(0, sigma))
+	}
+}
+
+// shard fans f over [0,m) across the scoring workers with deterministic
+// contiguous ranges. Each worker owns its index range and its own scratch,
+// so results are written by index and never contend.
+func (b *Bayes) shard(m int, f func(lo, hi, worker int)) {
+	workers := b.workers()
+	if max := (m + predictBlock - 1) / predictBlock; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		f(0, m, 0)
+		return
+	}
+	// Chunks are multiples of the predict block so only the last worker
+	// scores a partial block.
+	chunk := (m + workers - 1) / workers
+	chunk = (chunk + predictBlock - 1) / predictBlock * predictBlock
+	var wg sync.WaitGroup
+	for w := 0; w*chunk < m; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			f(lo, hi, w)
+		}(lo, hi, w)
+	}
+	wg.Wait()
+}
+
+// scoreCandidates computes acquisition scores for the first m pool
+// candidates against the GP posterior, fanning the allocation-free batch
+// predictor across the scoring workers.
+func (b *Bayes) scoreCandidates(m int, best float64) {
+	c := &b.cand
+	b.shard(m, func(lo, hi, w int) {
+		b.gp.PredictBatch(c.uview[lo:hi], c.mu[lo:hi], c.va[lo:hi], &c.scratch[w])
+		for i := lo; i < hi; i++ {
+			c.scores[i] = b.acquire(c.mu[i], c.va[i], best)
+		}
+	})
+}
+
+// acquire applies the configured acquisition function.
+func (b *Bayes) acquire(mu, variance, best float64) float64 {
+	if b.opts.Acq == AcqUCB {
+		return UCB(mu, variance, b.opts.UCBBeta)
+	}
+	return ExpectedImprovement(mu, variance, best, b.opts.XI)
+}
+
+// askFantasies proposes rem points against the current evidence plus any
+// already-fantasized rows. A single ask takes the same scoring path as
+// serial Ask; larger batches score one shared candidate pool and run the
+// constant-liar loop with O(n)-per-candidate incremental posterior updates
+// against the fantasy overlay.
+func (b *Bayes) askFantasies(rem int, lie float64) []param.Point {
+	b.refit()
+	best := b.incumbent()
+	out := make([]param.Point, 0, rem)
+	if rem == 1 || b.gp.N() == 0 {
+		// Degenerate surrogate keeps the serial per-ask behavior: each ask
+		// draws a fresh pool against the (prior) posterior.
+		for len(out) < rem {
+			p := b.askScored(best)
+			out = append(out, p)
+			if len(out) < rem {
+				b.fantasize(p, lie)
+				b.refit()
+			}
+		}
+		return out
+	}
+
+	m := b.drawCandidates()
+	c := &b.cand
+	baseN := b.gp.N()
+	stride := baseN + rem // room for the fantasy rows each solve may grow by
+	c.mustd = growTo(c.mustd, m)
+	c.vvs = growTo(c.vvs, m)
+	c.kxx = growTo(c.kxx, m)
+	c.vcache = growTo(c.vcache, m*stride)
+	if cap(c.picked) < m {
+		c.picked = make([]bool, m)
+	}
+	c.picked = c.picked[:m]
+	for i := range c.picked {
+		c.picked[i] = false
+	}
+	b.scorePoolBase(m, stride)
+	// Standardization frozen at scoring time: if the model is lost
+	// mid-batch (degraded), remaining picks keep selecting from the last
+	// good scores without touching the GP.
+	gmean, gstd := b.gp.mean, b.gp.std
+	degraded := false
+	for step := 0; step < rem; step++ {
+		idx := -1
+		bestScore := math.Inf(-1)
+		for i := 0; i < m; i++ {
+			if c.picked[i] {
+				continue
+			}
+			mu := gmean + gstd*c.mustd[i]
+			variance := c.kxx[i] - c.vvs[i]
+			if variance < 1e-12 {
+				variance = 1e-12
+			}
+			variance = variance * gstd * gstd
+			if s := b.acquire(mu, variance, best); s > bestScore {
+				bestScore = s
+				idx = i
+			}
+		}
+		if idx < 0 {
+			out = append(out, b.space.Sample(b.rnd))
+			continue
+		}
+		c.picked[idx] = true
+		out = append(out, c.pts[idx].Clone())
+		if step+1 == rem || degraded {
+			continue
+		}
+		// Fantasize the pick against the shared factor and fold the new
+		// row into every cached candidate solve in O(n).
+		u := c.uview[idx]
+		b.fantasize(c.pts[idx], lie)
+		if !b.gp.appendFrozen(u, lie, b.gp.Noise) {
+			// Positive definiteness broke. The GP either resynced itself
+			// with jitter (rebuild the pool's solve cache and continue) or
+			// emptied; then later picks reuse the last good scores and must
+			// not fantasize against the cleared, unresolved model.
+			if b.gp.N() == 0 {
+				b.gpFail(len(b.obs))
+				degraded = true
+				continue
+			}
+			b.gpHi = len(b.obs)
+			b.scorePoolBase(m, stride)
+			gmean, gstd = b.gp.mean, b.gp.std
+			continue
+		}
+		b.gpHi = len(b.obs)
+		nn := b.gp.N()
+		wNew := b.gp.w[nn-1]
+		b.shard(m, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				if c.picked[i] {
+					continue
+				}
+				vrow := c.vcache[i*stride : i*stride+nn-1]
+				kv := b.gp.Kernel.Eval(u, c.uview[i])
+				vnew := b.gp.fac.extendForward(vrow, kv)
+				c.vcache[i*stride+nn-1] = vnew
+				c.mustd[i] += vnew * wNew
+				c.vvs[i] += vnew * vnew
+			}
+		})
 	}
 	return out
 }
 
-// refit rebuilds the GP if observations changed, with per-observation noise
-// realized by duplicating the noise through weights (foreign observations
-// get inflated noise by scaling their target toward the mean — a standard
-// cheap approximation that avoids heteroscedastic solvers).
+// scorePoolBase scores the pool against the current posterior keeping the
+// per-candidate forward solves, standardized means, solve norms, and prior
+// variances for incremental fantasy updates.
+func (b *Bayes) scorePoolBase(m, stride int) {
+	c := &b.cand
+	n := b.gp.N()
+	b.shard(m, func(lo, hi, w int) {
+		sc := &c.scratch[w]
+		sc.ensure(n)
+		var vv, kxx [predictBlock]float64
+		for base := lo; base < hi; base += predictBlock {
+			cnt := hi - base
+			if cnt > predictBlock {
+				cnt = predictBlock
+			}
+			b.gp.scoreBlock(c.uview[base:base+cnt], sc.k, sc.v, c.mustd[base:base+cnt], vv[:cnt], kxx[:cnt])
+			for t := 0; t < cnt; t++ {
+				c.vvs[base+t] = vv[t]
+				c.kxx[base+t] = kxx[t]
+				vrow := c.vcache[(base+t)*stride:]
+				for r := 0; r < n; r++ {
+					vrow[r] = sc.v[r*predictBlock+t]
+				}
+			}
+		}
+	})
+}
+
+// refit brings the GP in sync with the observation window: new
+// observations extend the factor by O(n^2) row appends, retracted
+// fantasies truncate it, and only a slid MaxFit window (or a positive-
+// definiteness failure, which falls back to pure exploration by clearing
+// the model) pays a full O(n^3) refit. Per-observation noise realizes
+// transfer down-weighting: foreign observations carry inflated noise
+// rather than distorted targets.
 func (b *Bayes) refit() {
 	if !b.stale {
 		return
 	}
 	b.stale = false
+	hi := len(b.obs)
+	lo := 0
+	if hi > b.opts.MaxFit {
+		lo = hi - b.opts.MaxFit
+	}
+	if lo != b.gpLo || b.gpHi < lo {
+		if err := b.fullFit(lo, hi); err != nil {
+			b.gpFail(lo)
+			return
+		}
+		b.gpLo, b.gpHi = lo, hi
+		return
+	}
+	if b.gpHi > hi {
+		b.gpHi = hi
+	}
+	if b.gp.N() > b.gpHi-lo {
+		if err := b.gp.Truncate(b.gpHi - lo); err != nil {
+			b.gpFail(lo)
+			return
+		}
+	}
+	b.cand.ubuf = growTo(b.cand.ubuf, len(b.space))
+	for i := b.gpHi; i < hi; i++ {
+		o := b.obs[i]
+		b.space.ToUnitInto(o.Point, b.cand.ubuf)
+		if err := b.gp.Append(b.cand.ubuf, o.Value, b.obsNoise(o)); err != nil {
+			b.gpFail(lo)
+			return
+		}
+	}
+	b.gpHi = hi
+	if b.gp.frozen > 0 {
+		b.gp.resolve()
+	}
+}
 
-	obs := b.obs
-	if len(obs) > b.opts.MaxFit {
-		obs = obs[len(obs)-b.opts.MaxFit:]
+// obsNoise is the per-observation GP noise: transferred observations
+// (Weight < 1) carry extra variance (1-w)/w on the standardized scale, so
+// weight 1 is exact local evidence and weight -> 0 carries no information.
+func (b *Bayes) obsNoise(o Observation) float64 {
+	base := b.gp.Noise
+	if o.Weight >= 1 || o.Weight <= 0 {
+		return base
 	}
-	xs := make([][]float64, len(obs))
-	ys := make([]float64, len(obs))
-	for i, o := range obs {
-		xs[i] = b.space.ToUnit(o.Point)
-		ys[i] = o.Value
+	return base + (1-o.Weight)/o.Weight
+}
+
+// fullFit refits the GP from scratch on the observation window [lo, hi).
+func (b *Bayes) fullFit(lo, hi int) error {
+	n := hi - lo
+	dims := len(b.space)
+	c := &b.cand
+	c.fitUnits = growTo(c.fitUnits, n*dims)
+	c.fitYs = growTo(c.fitYs, n)
+	c.fitNoise = growTo(c.fitNoise, n)
+	if cap(c.fitXs) < n {
+		c.fitXs = make([][]float64, n)
 	}
-	// Weighted observations: shrink foreign targets toward the local mean
-	// proportionally to (1-weight).
-	var localSum float64
-	var localN int
-	for _, o := range obs {
-		if o.Weight >= 1 {
-			localSum += o.Value
-			localN++
-		}
+	c.fitXs = c.fitXs[:n]
+	for i := 0; i < n; i++ {
+		o := b.obs[lo+i]
+		c.fitXs[i] = c.fitUnits[i*dims : (i+1)*dims]
+		b.space.ToUnitInto(o.Point, c.fitXs[i])
+		c.fitYs[i] = o.Value
+		c.fitNoise[i] = b.obsNoise(o)
 	}
-	if localN > 0 {
-		mean := localSum / float64(localN)
-		for i, o := range obs {
-			if o.Weight < 1 {
-				ys[i] = mean + (o.Value-mean)*o.Weight/(1.0)
-			}
-		}
-	}
-	// Fit errors (degenerate duplicates) fall back to pure exploration by
-	// clearing the model.
-	if err := b.gp.Fit(xs, ys); err != nil {
-		b.gp = NewGP(b.opts.Kernel, b.opts.Noise*10)
-	}
+	return b.gp.FitNoise(c.fitXs, c.fitYs, c.fitNoise)
+}
+
+// gpFail falls back to pure exploration after an unfactorizable window
+// (degenerate duplicates): the model is cleared and refits retry with
+// inflated noise.
+func (b *Bayes) gpFail(lo int) {
+	b.gp = NewGP(b.opts.Kernel, b.opts.Noise*10)
+	b.gpLo, b.gpHi = lo, lo
 }
 
 // Random is the uniform-sampling baseline.
@@ -355,6 +700,7 @@ func (r *Random) N() int { return r.n }
 type Grid struct {
 	space  param.Space
 	levels int
+	total  int // lattice size, saturated at MaxInt for huge spaces
 	idx    int
 	n      int
 	bestP  param.Point
@@ -362,25 +708,31 @@ type Grid struct {
 }
 
 // NewGrid builds a grid search with the given per-dimension level count.
+// The lattice size is computed once, saturating at MaxInt when
+// levels^dims overflows (the paper's 10^13-condition spaces), where the
+// phase-shifted restart simply never engages.
 func NewGrid(space param.Space, levels int) *Grid {
 	if levels < 2 {
 		levels = 2
 	}
-	return &Grid{space: space, levels: levels, bestV: math.Inf(-1)}
+	total := 1
+	for range space {
+		if total > math.MaxInt/levels {
+			total = math.MaxInt
+			break
+		}
+		total *= levels
+	}
+	return &Grid{space: space, levels: levels, total: total, bestV: math.Inf(-1)}
 }
 
 // Ask implements Optimizer. When the lattice is exhausted it restarts with
 // a phase shift, so Ask never runs dry.
 func (g *Grid) Ask() param.Point {
-	dims := len(g.space)
-	total := 1
-	for i := 0; i < dims; i++ {
-		total *= g.levels
-	}
-	i := g.idx % total
-	pass := g.idx / total
+	i := g.idx % g.total
+	pass := g.idx / g.total
 	g.idx++
-	p := make(param.Point, dims)
+	p := make(param.Point, len(g.space))
 	for _, d := range g.space {
 		level := i % g.levels
 		i /= g.levels

@@ -8,6 +8,13 @@
 // All optimizers follow the ask/tell protocol so campaign engines control
 // execution: Ask proposes the next experiment, Tell reports its measured
 // objective.
+//
+// The GP is built for the per-decision hot path of batched campaigns: the
+// Cholesky factor lives in flat packed-triangular storage (chol.go) and
+// grows by O(n^2) rank-1 appends on Tell instead of O(n^3) refits, fantasy
+// observations append and retract against the shared factor, and candidate
+// scoring runs through PredictBatch, which is allocation-free in steady
+// state with caller-owned scratch buffers.
 package optimize
 
 import (
@@ -34,6 +41,13 @@ func (k RBF) Eval(a, b []float64) float64 {
 		d := a[i] - b[i]
 		d2 += d * d
 	}
+	return k.fromD2(d2)
+}
+
+// fromD2 is the kernel value at squared distance d2 — the single copy of
+// the formula shared by Eval and the devirtualized row/block loops, so
+// training and prediction covariances can never drift apart.
+func (k RBF) fromD2(d2 float64) float64 {
 	return k.Variance * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
 }
 
@@ -51,6 +65,13 @@ func (k Matern52) Eval(a, b []float64) float64 {
 		d := a[i] - b[i]
 		d2 += d * d
 	}
+	return k.fromD2(d2)
+}
+
+// fromD2 is the kernel value at squared distance d2 — the single copy of
+// the formula shared by Eval and the devirtualized row/block loops, so
+// training and prediction covariances can never drift apart.
+func (k Matern52) fromD2(d2 float64) float64 {
 	r := math.Sqrt(d2) / k.LengthScale
 	s5 := math.Sqrt(5) * r
 	return k.Variance * (1 + s5 + 5*r*r/3) * math.Exp(-s5)
@@ -62,18 +83,36 @@ var ErrNotPD = errors.New("optimize: covariance matrix not positive definite")
 
 // GP is a Gaussian-process regressor over unit-cube inputs. Targets are
 // standardized internally; predictions are returned on the original scale.
+//
+// Observations arrive either in bulk (Fit, FitNoise) or one at a time
+// (Append, O(n^2) via a Cholesky rank-1 append); trailing observations can
+// be withdrawn with Truncate, which is how constant-liar fantasy batches
+// retract. Fit complexity is O(n^3), Append O(n^2), Predict O(n^2) per
+// point. GP methods are not safe for concurrent use; concurrent scoring
+// goes through PredictBatch with one PredictScratch per goroutine.
 type GP struct {
 	Kernel Kernel
-	// Noise is the observation noise variance (on standardized targets).
+	// Noise is the observation noise variance (on standardized targets)
+	// used when no per-observation noise is given.
 	Noise float64
 
-	xs   [][]float64
-	ys   []float64
-	mean float64
-	std  float64
+	d      int       // input dimensionality
+	n      int       // observations
+	xs     []float64 // flat row-major inputs, n*d
+	ys     []float64
+	noises []float64 // per-observation noise variance
+	mean   float64
+	std    float64
 
-	chol  [][]float64 // lower-triangular factor of K + noise*I
-	alpha []float64   // chol solve of standardized targets
+	fac      cholFactor // factor of K + diag(noises)
+	alpha    []float64  // (L L^T)^{-1} z, standardized targets z
+	w        []float64  // forward half L^{-1} z (alpha's intermediate)
+	jittered bool       // factor was built with diagonal jitter
+
+	kbuf   []float64 // packed covariance scratch for full factorizations
+	krow   []float64 // covariance row scratch for appends
+	frozen int       // trailing rows appended under frozen standardization
+	ps     PredictScratch
 }
 
 // NewGP returns a GP with the given kernel and noise variance.
@@ -85,124 +124,172 @@ func NewGP(k Kernel, noise float64) *GP {
 }
 
 // N reports the number of observations.
-func (g *GP) N() int { return len(g.xs) }
+func (g *GP) N() int { return g.n }
 
-// Fit replaces the training set and factorizes the covariance.
+// Fit replaces the training set and factorizes the covariance in O(n^3).
 func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	return g.FitNoise(xs, ys, nil)
+}
+
+// FitNoise is Fit with a per-observation noise variance vector, the
+// mechanism behind transfer-learning down-weighting: foreign observations
+// carry inflated noise instead of distorted targets. A nil noise vector
+// applies the uniform g.Noise.
+func (g *GP) FitNoise(xs [][]float64, ys []float64, noise []float64) error {
 	if len(xs) != len(ys) {
 		panic("optimize: xs/ys length mismatch")
 	}
-	g.xs = xs
-	g.ys = ys
+	if noise != nil && len(noise) != len(xs) {
+		panic("optimize: xs/noise length mismatch")
+	}
 	n := len(xs)
+	g.n = n
+	g.frozen = 0
 	if n == 0 {
-		g.chol, g.alpha = nil, nil
+		g.clear()
 		return nil
 	}
-
-	// Standardize targets.
-	var sum float64
-	for _, y := range ys {
-		sum += y
-	}
-	g.mean = sum / float64(n)
-	var ss float64
-	for _, y := range ys {
-		d := y - g.mean
-		ss += d * d
-	}
-	g.std = math.Sqrt(ss / float64(n))
-	if g.std < 1e-12 {
-		g.std = 1
-	}
-
-	k := make([][]float64, n)
-	for i := range k {
-		k[i] = make([]float64, n)
-		for j := 0; j <= i; j++ {
-			v := g.Kernel.Eval(xs[i], xs[j])
-			k[i][j] = v
-			k[j][i] = v
+	g.d = len(xs[0])
+	g.xs = growTo(g.xs, n*g.d)
+	g.ys = growTo(g.ys, n)
+	g.noises = growTo(g.noises, n)
+	for i := range xs {
+		copy(g.xs[i*g.d:(i+1)*g.d], xs[i])
+		g.ys[i] = ys[i]
+		if noise != nil {
+			g.noises[i] = noise[i]
+		} else {
+			g.noises[i] = g.Noise
 		}
-		k[i][i] += g.Noise
 	}
-
-	chol, err := cholesky(k)
-	if err != nil {
+	if err := g.refactor(); err != nil {
+		g.clear()
 		return err
 	}
-	g.chol = chol
-
-	z := make([]float64, n)
-	for i, y := range ys {
-		z[i] = (y - g.mean) / g.std
-	}
-	g.alpha = cholSolve(chol, z)
+	g.resolve()
 	return nil
 }
 
-// Predict returns the posterior mean and variance at x.
-func (g *GP) Predict(x []float64) (mean, variance float64) {
-	if len(g.xs) == 0 {
-		return 0, 1
-	}
-	n := len(g.xs)
-	kstar := make([]float64, n)
-	for i := range g.xs {
-		kstar[i] = g.Kernel.Eval(x, g.xs[i])
-	}
-	var mu float64
-	for i := range kstar {
-		mu += kstar[i] * g.alpha[i]
-	}
-	// v = L^{-1} k*; var = k(x,x) - v.v
-	v := forwardSolve(g.chol, kstar)
-	var vv float64
-	for _, t := range v {
-		vv += t * t
-	}
-	kxx := g.Kernel.Eval(x, x)
-	variance = kxx - vv
-	if variance < 1e-12 {
-		variance = 1e-12
-	}
-	// De-standardize.
-	return g.mean + g.std*mu, variance * g.std * g.std
+// clear empties the model entirely — observations, factor, and solves —
+// so a GP that survives a factorization error is a consistent empty GP
+// (prior predictions) rather than one holding stale rows.
+func (g *GP) clear() {
+	g.n = 0
+	g.frozen = 0
+	g.fac.reset()
+	g.xs, g.ys, g.noises = g.xs[:0], g.ys[:0], g.noises[:0]
+	g.alpha, g.w = nil, nil
 }
 
-// cholesky computes the lower-triangular factor with escalating jitter.
-func cholesky(a [][]float64) ([][]float64, error) {
-	n := len(a)
+// Append extends the training set by one observation in O(n^2) via a
+// Cholesky rank-1 append. When the extended matrix loses positive
+// definiteness (or an earlier factorization needed jitter), it falls back
+// to a from-scratch refactorization with escalating jitter — the same path
+// Fit takes — so incremental growth always matches a bulk Fit bit for bit.
+func (g *GP) Append(x []float64, y, noise float64) error {
+	if g.n == 0 {
+		g.d = len(x)
+	}
+	g.pushObs(x, y, noise)
+	if g.jittered || !g.tryAppendRow(g.n-1) {
+		if err := g.refactor(); err != nil {
+			g.clear()
+			return err
+		}
+	}
+	g.resolve()
+	return nil
+}
+
+// appendFrozen extends the factor by one observation without
+// restandardizing targets: mean, std, and alpha stay those of the
+// observations present at the last resolve, and only the forward half w is
+// extended. This is the fantasy-overlay fast path — batch asks score
+// incremental posterior updates against frozen standardization, then
+// Truncate retracts the rows. It reports false when the appended row broke
+// positive definiteness; the caller must then Resync and rescore.
+// Predict/PredictBatch must not be called while frozen rows are pending.
+func (g *GP) appendFrozen(x []float64, y, noise float64) bool {
+	g.pushObs(x, y, noise)
+	if g.jittered || !g.tryAppendRow(g.n-1) {
+		if err := g.refactor(); err != nil {
+			g.clear()
+			return false
+		}
+		g.resolve()
+		return false
+	}
+	g.frozen++
+	g.w = append(g.w, g.fac.extendForward(g.w, (y-g.mean)/g.std))
+	return true
+}
+
+// pushObs records an observation's raw data without touching the factor.
+func (g *GP) pushObs(x []float64, y, noise float64) {
+	g.xs = append(g.xs, x...)
+	g.ys = append(g.ys, y)
+	g.noises = append(g.noises, noise)
+	g.n++
+}
+
+// tryAppendRow extends the factor with observation i's covariance row,
+// reporting whether the extended matrix stayed positive definite.
+func (g *GP) tryAppendRow(i int) bool {
+	x := g.xs[i*g.d : (i+1)*g.d]
+	g.krow = growTo(g.krow, i)
+	g.kernelRow(x, g.krow[:i], i)
+	return g.fac.appendRow(g.krow[:i], g.Kernel.Eval(x, x)+g.noises[i])
+}
+
+// Truncate retracts the training set to its first n observations in
+// O(n^2): the factor's trailing rows are dropped (O(1) in packed storage)
+// and the target solve is recomputed. A factor that was built with jitter
+// is refactorized from scratch instead, so the retracted state matches
+// what a bulk Fit of the first n observations would produce; like Fit and
+// Append, an unfactorizable window clears the model and surfaces
+// ErrNotPD.
+func (g *GP) Truncate(n int) error {
+	if n >= g.n {
+		return nil
+	}
+	g.n = n
+	g.xs = g.xs[:n*g.d]
+	g.ys = g.ys[:n]
+	g.noises = g.noises[:n]
+	g.frozen = 0
+	if n == 0 {
+		g.fac.reset()
+		g.alpha, g.w = nil, nil
+		return nil
+	}
+	if g.jittered {
+		if err := g.refactor(); err != nil {
+			g.clear()
+			return err
+		}
+	} else {
+		g.fac.truncate(n)
+	}
+	g.resolve()
+	return nil
+}
+
+// refactor rebuilds the packed covariance from stored observations and
+// factorizes with escalating jitter, mirroring the classic bulk-fit path.
+func (g *GP) refactor() error {
+	n := g.n
+	g.kbuf = growTo(g.kbuf, rowOff(n))
+	for i := 0; i < n; i++ {
+		xi := g.xs[i*g.d : (i+1)*g.d]
+		row := g.kbuf[rowOff(i):]
+		g.kernelRow(xi, row[:i], i)
+		row[i] = g.Kernel.Eval(xi, xi) + g.noises[i]
+	}
 	jitter := 0.0
 	for try := 0; try < 6; try++ {
-		l := make([][]float64, n)
-		for i := range l {
-			l[i] = make([]float64, i+1)
-		}
-		ok := true
-	outer:
-		for i := 0; i < n; i++ {
-			for j := 0; j <= i; j++ {
-				s := a[i][j]
-				if i == j {
-					s += jitter
-				}
-				for k := 0; k < j; k++ {
-					s -= l[i][k] * l[j][k]
-				}
-				if i == j {
-					if s <= 0 {
-						ok = false
-						break outer
-					}
-					l[i][i] = math.Sqrt(s)
-				} else {
-					l[i][j] = s / l[j][j]
-				}
-			}
-		}
-		if ok {
-			return l, nil
+		if g.fac.factorize(g.kbuf, n, jitter) {
+			g.jittered = jitter > 0
+			return nil
 		}
 		if jitter == 0 {
 			jitter = 1e-10
@@ -210,40 +297,266 @@ func cholesky(a [][]float64) ([][]float64, error) {
 			jitter *= 100
 		}
 	}
-	return nil, ErrNotPD
+	return ErrNotPD
 }
 
-// forwardSolve solves L y = b for lower-triangular L.
-func forwardSolve(l [][]float64, b []float64) []float64 {
-	n := len(l)
-	y := make([]float64, n)
+// resolve recomputes target standardization and the solves against the
+// current factor: z the standardized targets, w = L^{-1} z, and
+// alpha = L^{-T} w. O(n^2), no allocations in steady state.
+func (g *GP) resolve() {
+	n := g.n
+	g.frozen = 0
+	var sum float64
+	for _, y := range g.ys {
+		sum += y
+	}
+	g.mean = sum / float64(n)
+	var ss float64
+	for _, y := range g.ys {
+		d := y - g.mean
+		ss += d * d
+	}
+	g.std = math.Sqrt(ss / float64(n))
+	if g.std < 1e-12 {
+		g.std = 1
+	}
+	g.w = growTo(g.w, n)
+	g.alpha = growTo(g.alpha, n)
+	for i, y := range g.ys {
+		g.w[i] = (y - g.mean) / g.std
+	}
+	g.fac.forwardInto(g.w, g.w)
+	copy(g.alpha, g.w)
+	g.fac.backInto(g.alpha, g.alpha)
+}
+
+// kernelRow fills dst[j] = k(x, x_j) for j < m. The common kernels are
+// devirtualized so the hot scoring loops run without interface calls; the
+// formulas are exactly the Eval implementations.
+func (g *GP) kernelRow(x, dst []float64, m int) {
+	switch k := g.Kernel.(type) {
+	case Matern52:
+		for j := 0; j < m; j++ {
+			xj := g.xs[j*g.d : j*g.d+g.d]
+			var d2 float64
+			for t := range x {
+				d := x[t] - xj[t]
+				d2 += d * d
+			}
+			dst[j] = k.fromD2(d2)
+		}
+	case RBF:
+		for j := 0; j < m; j++ {
+			xj := g.xs[j*g.d : j*g.d+g.d]
+			var d2 float64
+			for t := range x {
+				d := x[t] - xj[t]
+				d2 += d * d
+			}
+			dst[j] = k.fromD2(d2)
+		}
+	default:
+		for j := 0; j < m; j++ {
+			dst[j] = g.Kernel.Eval(x, g.xs[j*g.d:j*g.d+g.d])
+		}
+	}
+}
+
+// PredictScratch holds the reusable buffers PredictBatch needs; one
+// instance per scoring goroutine makes batch prediction allocation-free in
+// steady state.
+type PredictScratch struct {
+	k []float64 // kernel rows for one block: predictBlock*n
+	v []float64 // interleaved forward solves: n*predictBlock
+}
+
+// predictBlock is the candidate block width: the triangular solve streams
+// the factor once per block instead of once per candidate, and the 8-wide
+// inner loop keeps the accumulators in registers.
+const predictBlock = 8
+
+func (s *PredictScratch) ensure(n int) {
+	s.k = growTo(s.k, predictBlock*n)
+	s.v = growTo(s.v, n*predictBlock)
+}
+
+// growTo returns buf resized to n, reallocating only on growth.
+func growTo(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		grown := make([]float64, n, n+n/2+8)
+		copy(grown, buf)
+		return grown
+	}
+	return buf[:n]
+}
+
+// Predict returns the posterior mean and variance at x. Not safe for
+// concurrent use (it shares the GP's internal scratch); concurrent callers
+// use PredictBatch with per-goroutine scratch.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if g.n == 0 {
+		return 0, 1
+	}
+	var mu, va [1]float64
+	xv := [1][]float64{x}
+	g.PredictBatch(xv[:], mu[:], va[:], &g.ps)
+	return mu[0], va[0]
+}
+
+// PredictBatch fills mu and variance for every candidate in xs, on the
+// original target scale. It allocates nothing once scratch has grown to
+// the training-set size: candidates are scored in blocks of eight so the
+// factor streams through cache once per block rather than once per
+// candidate. Each candidate's arithmetic is identical to a standalone
+// Predict, so results do not depend on batching or on how callers shard
+// xs across goroutines.
+func (g *GP) PredictBatch(xs [][]float64, mu, va []float64, scratch *PredictScratch) {
+	if g.n == 0 {
+		for i := range xs {
+			mu[i], va[i] = 0, 1
+		}
+		return
+	}
+	scratch.ensure(g.n)
+	var vv, kxx [predictBlock]float64
+	for base := 0; base < len(xs); base += predictBlock {
+		c := len(xs) - base
+		if c > predictBlock {
+			c = predictBlock
+		}
+		blk := xs[base : base+c]
+		g.scoreBlock(blk, scratch.k, scratch.v, mu[base:base+c], vv[:c], kxx[:c])
+		for i := 0; i < c; i++ {
+			variance := kxx[i] - vv[i]
+			if variance < 1e-12 {
+				variance = 1e-12
+			}
+			mu[base+i] = g.mean + g.std*mu[base+i]
+			va[base+i] = variance * g.std * g.std
+		}
+	}
+}
+
+// scoreBlock computes, for a block of at most predictBlock candidates, the
+// standardized posterior mean (into mu), the squared norm of the forward
+// solve v = L^{-1} k* (into vv), and the prior variance k(x,x) (into kxx).
+// The interleaved solves remain in v (layout v[row*predictBlock+cand]) for
+// callers that cache them for incremental fantasy updates.
+//
+// Kernel rows are stored lane-interleaved (kbuf[j*predictBlock+t]) and
+// every loop runs all predictBlock lanes with fixed bounds — unused lanes
+// compute on zeros — so the eight forward-solve recurrences proceed as
+// independent dependency chains over contiguous loads. Each lane's
+// arithmetic is exactly the single-candidate recurrence.
+func (g *GP) scoreBlock(blk [][]float64, kbuf, v []float64, mu, vv, kxx []float64) {
+	n := g.n
+	c := len(blk)
+	g.kernelBlock(blk, kbuf)
+	for t, x := range blk {
+		kxx[t] = g.Kernel.Eval(x, x)
+	}
+	var m [predictBlock]float64
+	for j := 0; j < n; j++ {
+		av := g.alpha[j]
+		kb := kbuf[j*predictBlock : j*predictBlock+predictBlock]
+		for t := 0; t < predictBlock; t++ {
+			m[t] += kb[t] * av
+		}
+	}
+	l := g.fac.l
+	var sq [predictBlock]float64
 	for i := 0; i < n; i++ {
-		s := b[i]
+		row := l[rowOff(i) : rowOff(i)+i+1]
+		kb := kbuf[i*predictBlock : i*predictBlock+predictBlock]
+		// Eight accumulators in registers: the eight candidates' solve
+		// recurrences are independent chains, so the loop runs at multiply
+		// throughput instead of one candidate's dependency latency.
+		a0, a1, a2, a3 := kb[0], kb[1], kb[2], kb[3]
+		a4, a5, a6, a7 := kb[4], kb[5], kb[6], kb[7]
 		for k := 0; k < i; k++ {
-			s -= l[i][k] * y[k]
+			lv := row[k]
+			vb := v[k*predictBlock : k*predictBlock+predictBlock]
+			a0 -= lv * vb[0]
+			a1 -= lv * vb[1]
+			a2 -= lv * vb[2]
+			a3 -= lv * vb[3]
+			a4 -= lv * vb[4]
+			a5 -= lv * vb[5]
+			a6 -= lv * vb[6]
+			a7 -= lv * vb[7]
 		}
-		y[i] = s / l[i][i]
+		d := row[i]
+		vb := v[i*predictBlock : i*predictBlock+predictBlock]
+		a0, a1, a2, a3 = a0/d, a1/d, a2/d, a3/d
+		a4, a5, a6, a7 = a4/d, a5/d, a6/d, a7/d
+		vb[0], vb[1], vb[2], vb[3] = a0, a1, a2, a3
+		vb[4], vb[5], vb[6], vb[7] = a4, a5, a6, a7
+		sq[0] += a0 * a0
+		sq[1] += a1 * a1
+		sq[2] += a2 * a2
+		sq[3] += a3 * a3
+		sq[4] += a4 * a4
+		sq[5] += a5 * a5
+		sq[6] += a6 * a6
+		sq[7] += a7 * a7
 	}
-	return y
+	for t := 0; t < c; t++ {
+		mu[t] = m[t]
+		vv[t] = sq[t]
+	}
 }
 
-// backSolve solves L^T x = y.
-func backSolve(l [][]float64, y []float64) []float64 {
-	n := len(l)
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l[k][i] * x[k]
+// kernelBlock fills kbuf[j*predictBlock+t] = k(blk[t], x_j), zeroing lanes
+// past len(blk). The common kernels are devirtualized; formulas match Eval
+// exactly.
+func (g *GP) kernelBlock(blk [][]float64, kbuf []float64) {
+	n, c, d := g.n, len(blk), g.d
+	switch k := g.Kernel.(type) {
+	case Matern52:
+		for j := 0; j < n; j++ {
+			xj := g.xs[j*d : j*d+d]
+			kb := kbuf[j*predictBlock : j*predictBlock+predictBlock]
+			for t := 0; t < c; t++ {
+				x := blk[t]
+				var d2 float64
+				for q := range x {
+					dd := x[q] - xj[q]
+					d2 += dd * dd
+				}
+				kb[t] = k.fromD2(d2)
+			}
+			for t := c; t < predictBlock; t++ {
+				kb[t] = 0
+			}
 		}
-		x[i] = s / l[i][i]
+	case RBF:
+		for j := 0; j < n; j++ {
+			xj := g.xs[j*d : j*d+d]
+			kb := kbuf[j*predictBlock : j*predictBlock+predictBlock]
+			for t := 0; t < c; t++ {
+				x := blk[t]
+				var d2 float64
+				for q := range x {
+					dd := x[q] - xj[q]
+					d2 += dd * dd
+				}
+				kb[t] = k.fromD2(d2)
+			}
+			for t := c; t < predictBlock; t++ {
+				kb[t] = 0
+			}
+		}
+	default:
+		for j := 0; j < n; j++ {
+			kb := kbuf[j*predictBlock : j*predictBlock+predictBlock]
+			for t := 0; t < c; t++ {
+				kb[t] = g.Kernel.Eval(blk[t], g.xs[j*d:j*d+d])
+			}
+			for t := c; t < predictBlock; t++ {
+				kb[t] = 0
+			}
+		}
 	}
-	return x
-}
-
-// cholSolve solves (L L^T) x = b.
-func cholSolve(l [][]float64, b []float64) []float64 {
-	return backSolve(l, forwardSolve(l, b))
 }
 
 // normPDF/normCDF for expected improvement.
@@ -264,13 +577,6 @@ func ExpectedImprovement(mean, variance, best, xi float64) float64 {
 // UCB scores a candidate with an upper confidence bound.
 func UCB(mean, variance, beta float64) float64 {
 	return mean + beta*math.Sqrt(variance)
-}
-
-// unitCopy makes a defensive copy of a unit vector.
-func unitCopy(u []float64) []float64 {
-	c := make([]float64, len(u))
-	copy(c, u)
-	return c
 }
 
 // defaultKernel builds the default surrogate kernel for a dimensionality.

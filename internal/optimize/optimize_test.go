@@ -10,15 +10,40 @@ import (
 	"github.com/aisle-sim/aisle/internal/twin"
 )
 
+// packLower packs the lower triangle (diagonal included) of a dense
+// symmetric matrix into the flat layout cholFactor consumes.
+func packLower(a [][]float64) []float64 {
+	var out []float64
+	for i := range a {
+		out = append(out, a[i][:i+1]...)
+	}
+	return out
+}
+
+// factorDense factorizes a dense SPD matrix without jitter, for tests.
+func factorDense(a [][]float64) (*cholFactor, bool) {
+	var f cholFactor
+	ok := f.factorize(packLower(a), len(a), 0)
+	return &f, ok
+}
+
+// cholSolveDense solves (L L^T) x = b, for tests.
+func cholSolveDense(f *cholFactor, b []float64) []float64 {
+	x := make([]float64, len(b))
+	f.forwardInto(x, b)
+	f.backInto(x, x)
+	return x
+}
+
 func TestCholeskyKnownFactor(t *testing.T) {
 	a := [][]float64{
 		{4, 12, -16},
 		{12, 37, -43},
 		{-16, -43, 98},
 	}
-	l, err := cholesky(a)
-	if err != nil {
-		t.Fatal(err)
+	l, ok := factorDense(a)
+	if !ok {
+		t.Fatal("SPD matrix failed to factorize")
 	}
 	want := [][]float64{
 		{2},
@@ -27,8 +52,8 @@ func TestCholeskyKnownFactor(t *testing.T) {
 	}
 	for i := range want {
 		for j := range want[i] {
-			if math.Abs(l[i][j]-want[i][j]) > 1e-9 {
-				t.Fatalf("L[%d][%d] = %v, want %v", i, j, l[i][j], want[i][j])
+			if math.Abs(l.at(i, j)-want[i][j]) > 1e-9 {
+				t.Fatalf("L[%d][%d] = %v, want %v", i, j, l.at(i, j), want[i][j])
 			}
 		}
 	}
@@ -42,11 +67,11 @@ func TestCholeskySolveIdentity(t *testing.T) {
 		{1, 2, 4},
 	}
 	b := []float64{1, -2, 3}
-	l, err := cholesky(a)
-	if err != nil {
-		t.Fatal(err)
+	l, ok := factorDense(a)
+	if !ok {
+		t.Fatal("SPD matrix failed to factorize")
 	}
-	x := cholSolve(l, b)
+	x := cholSolveDense(l, b)
 	for i := range a {
 		var s float64
 		for j := range a[i] {
@@ -54,6 +79,41 @@ func TestCholeskySolveIdentity(t *testing.T) {
 		}
 		if math.Abs(s-b[i]) > 1e-9 {
 			t.Fatalf("residual row %d: %v vs %v", i, s, b[i])
+		}
+	}
+}
+
+func TestCholeskyAppendRowMatchesFull(t *testing.T) {
+	// Growing a factor row by row must equal factorizing the full matrix.
+	a := [][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	}
+	full, ok := factorDense(a)
+	if !ok {
+		t.Fatal("full factorization failed")
+	}
+	var inc cholFactor
+	for i := range a {
+		if !inc.appendRow(a[i][:i], a[i][i]) {
+			t.Fatalf("appendRow %d failed", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j <= i; j++ {
+			if inc.at(i, j) != full.at(i, j) {
+				t.Fatalf("incremental L[%d][%d] = %v, full = %v", i, j, inc.at(i, j), full.at(i, j))
+			}
+		}
+	}
+	// Retracting the last row recovers the leading 2x2 factor exactly.
+	inc.truncate(2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j <= i; j++ {
+			if inc.at(i, j) != full.at(i, j) {
+				t.Fatalf("truncated L[%d][%d] = %v, want %v", i, j, inc.at(i, j), full.at(i, j))
+			}
 		}
 	}
 }

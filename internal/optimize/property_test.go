@@ -35,15 +35,15 @@ func TestPropertyCholeskySolvesSPD(t *testing.T) {
 				}
 			}
 		}
-		l, err := cholesky(a)
-		if err != nil {
+		l, ok := factorDense(a)
+		if !ok {
 			return false
 		}
 		rhs := make([]float64, n)
 		for i := range rhs {
 			rhs[i] = r.Normal(0, 1)
 		}
-		x := cholSolve(l, rhs)
+		x := cholSolveDense(l, rhs)
 		for i := range a {
 			var s float64
 			for j := range a[i] {

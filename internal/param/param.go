@@ -111,6 +111,15 @@ func (s Space) Snap(p Point) Point {
 // Sample draws a uniform random point (lattice-respecting).
 func (s Space) Sample(r *rng.Stream) Point {
 	p := make(Point, len(s))
+	s.SampleInto(r, p)
+	return p
+}
+
+// SampleInto draws a uniform random point into p, reusing its storage.
+// The random draws are identical to Sample's, so the two are
+// interchangeable on a shared stream; hot loops (candidate pools) use
+// SampleInto to avoid a map allocation per draw.
+func (s Space) SampleInto(r *rng.Stream, p Point) {
 	for _, d := range s {
 		if n := d.Levels(); n > 0 {
 			p[d.Name] = d.Lo + float64(r.Intn(n))*d.Step
@@ -118,7 +127,6 @@ func (s Space) Sample(r *rng.Stream) Point {
 			p[d.Name] = r.Range(d.Lo, d.Hi)
 		}
 	}
-	return p
 }
 
 // SampleLHS draws n stratified points via Latin hypercube sampling.
@@ -149,6 +157,13 @@ func (s Space) Cardinality() float64 {
 // ToUnit maps p into [0,1]^d in dimension order.
 func (s Space) ToUnit(p Point) []float64 {
 	u := make([]float64, len(s))
+	s.ToUnitInto(p, u)
+	return u
+}
+
+// ToUnitInto maps p into [0,1]^d writing into u (len(u) >= len(s)),
+// the allocation-free form batch scoring loops use.
+func (s Space) ToUnitInto(p Point, u []float64) {
 	for i, d := range s {
 		if d.Hi == d.Lo {
 			u[i] = 0
@@ -156,7 +171,6 @@ func (s Space) ToUnit(p Point) []float64 {
 		}
 		u[i] = (p[d.Name] - d.Lo) / (d.Hi - d.Lo)
 	}
-	return u
 }
 
 // FromUnit maps a unit-cube vector back to a (snapped) point.

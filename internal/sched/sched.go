@@ -572,7 +572,7 @@ func (s *Scheduler) tryDispatch(ss *siteSched, t *tenantQ) bool {
 
 // estimate is the expected action duration on the instrument behind rec,
 // derived from its advertised throughput.
-func (s *Scheduler) estimate(rec discovery.Record) sim.Time {
+func (s *Scheduler) estimate(rec *discovery.Record) sim.Time {
 	if tph := rec.Capabilities["throughput_per_hr"]; tph > 0 {
 		return sim.Time(float64(sim.Hour) / tph)
 	}
@@ -597,7 +597,7 @@ func (s *Scheduler) rtt(a, b netsim.SiteID) sim.Time {
 // instrumentFor resolves the live instrument behind a directory record
 // when its owning site is bound to this scheduler (nil for foreign sites —
 // routing then relies on in-flight accounting alone).
-func (s *Scheduler) instrumentFor(rec discovery.Record) *instrument.Instrument {
+func (s *Scheduler) instrumentFor(rec *discovery.Record) *instrument.Instrument {
 	host := s.sites[rec.Addr.Site]
 	if host == nil {
 		return nil
@@ -615,38 +615,45 @@ func (s *Scheduler) instrumentFor(rec discovery.Record) *instrument.Instrument {
 // penalty for instruments mid-calibration, and the WAN round trip from the
 // origin. Down instruments and saturated instruments are skipped; ties
 // break on instance name for determinism.
+//
+// This runs on every dispatch attempt of every pump, so it iterates the
+// directory through the registry's allocation-free BrowseFunc index
+// instead of cloning the record set; the returned record shares the
+// registry's capability maps and is read-only by contract.
 func (s *Scheduler) route(ss *siteSched, j Job) (discovery.Record, bool) {
-	var best discovery.Record
+	var best *discovery.Record
 	bestScore := sim.Time(0)
-	found := false
-candidates:
-	for _, rec := range ss.bind.Registry.Browse(j.Kind) {
+	ss.bind.Registry.BrowseFunc(j.Kind, func(rec *discovery.Record) bool {
 		for cap, floor := range j.MinCaps {
 			if rec.Capabilities[cap] < floor {
-				continue candidates
+				return true
 			}
 		}
 		if s.inflight[rec.Instance] >= s.opts.MaxInFlightPerInstrument {
-			continue
+			return true
 		}
 		if !s.net.Reachable(ss.bind.ID, rec.Addr.Site, "bus") {
-			continue
+			return true
 		}
 		est := s.estimate(rec)
 		score := sim.Time(s.inflight[rec.Instance])*est + s.rtt(ss.bind.ID, rec.Addr.Site)
 		if in := s.instrumentFor(rec); in != nil {
 			switch in.State() {
 			case instrument.StateDown:
-				continue
+				return true
 			case instrument.StateCalibrating:
 				score += 30 * sim.Minute
 			}
 		}
-		if !found || score < bestScore || (score == bestScore && rec.Instance < best.Instance) {
-			best, bestScore, found = rec, score, true
+		if best == nil || score < bestScore || (score == bestScore && rec.Instance < best.Instance) {
+			best, bestScore = rec, score
 		}
+		return true
+	})
+	if best == nil {
+		return discovery.Record{}, false
 	}
-	return best, found
+	return *best, true
 }
 
 // dispatch ships the job to the chosen instrument over the bus and wires
@@ -793,7 +800,7 @@ func (s *Scheduler) stealFrom(victim, thief *siteSched, want int) []*queuedJob {
 				continue
 			}
 			qj := t.jobs[len(t.jobs)-1]
-			if len(thief.bind.Registry.Browse(qj.job.Kind)) == 0 {
+			if !thief.bind.Registry.HasType(qj.job.Kind) {
 				continue
 			}
 			t.jobs = t.jobs[:len(t.jobs)-1]
