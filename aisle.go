@@ -36,6 +36,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/trace"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
 
@@ -90,6 +91,34 @@ const (
 	SchedNormal = sched.ClassNormal
 	SchedUrgent = sched.ClassUrgent
 )
+
+// Observability: causal tracing. Enable with Config.Trace (Enabled: true);
+// the assembled Network.Tracer then holds every sampled span of the run in
+// virtual time, exportable to chrome://tracing / Perfetto with
+// WriteChromeTraceFile and reducible to per-campaign layer breakdowns with
+// CriticalPaths. The zero TraceOptions keeps tracing off at zero cost.
+type (
+	// TraceOptions tunes tracing via Config.Trace.
+	TraceOptions = trace.Options
+	// Tracer records spans into per-site ring buffers (Network.Tracer).
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded operation.
+	TraceSpan = trace.Span
+	// TraceContext is a position in a trace, threaded through jobs and
+	// commands.
+	TraceContext = trace.Context
+	// PathReport is a per-campaign critical-path breakdown.
+	PathReport = trace.PathReport
+)
+
+// CriticalPaths reduces a span set to one critical-path report per trace,
+// attributing each campaign's end-to-end virtual latency to the federation
+// layer that spent it.
+func CriticalPaths(spans []TraceSpan) []PathReport { return trace.CriticalPaths(spans) }
+
+// TraceID derives a deterministic trace ID from a stable label, for
+// pre-computing which campaigns a sampling rate keeps.
+func TraceID(label string) uint64 { return trace.ID(label) }
 
 // Instruments.
 type (

@@ -90,7 +90,7 @@ func BenchmarkE15SchedSaturation(b *testing.B) { benchExperiment(b, "E15") }
 // roadmap's north star; the workload itself lives in
 // experiments.RunSaturation so aisle-bench's BENCH_optimize.json recorder
 // measures exactly the same thing.
-func benchConcurrentCampaigns(b *testing.B, parallelism int) {
+func benchConcurrentCampaigns(b *testing.B, parallelism int, tr TraceOptions) {
 	b.Helper()
 	const nCamps = 200
 	var camphSum float64
@@ -100,6 +100,7 @@ func benchConcurrentCampaigns(b *testing.B, parallelism int) {
 			Campaigns:   nCamps,
 			Budget:      6,
 			Parallelism: parallelism,
+			Trace:       tr,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -111,12 +112,24 @@ func benchConcurrentCampaigns(b *testing.B, parallelism int) {
 
 // BenchmarkSchedCampaignsP1 is the serial-loop baseline: 200 concurrent
 // campaigns, each with one experiment in flight.
-func BenchmarkSchedCampaignsP1(b *testing.B) { benchConcurrentCampaigns(b, 1) }
+func BenchmarkSchedCampaignsP1(b *testing.B) { benchConcurrentCampaigns(b, 1, TraceOptions{}) }
 
 // BenchmarkSchedCampaignsP4 keeps 4 experiments per campaign in flight.
-func BenchmarkSchedCampaignsP4(b *testing.B) { benchConcurrentCampaigns(b, 4) }
+// Tracing stays on its zero-value disabled path, so comparing this against
+// the recorded pre-instrumentation numbers (BENCH_optimize.json baseline)
+// guards the tracing layer's disabled-mode zero-allocation contract at
+// macro scale.
+func BenchmarkSchedCampaignsP4(b *testing.B) { benchConcurrentCampaigns(b, 4, TraceOptions{}) }
+
+// BenchmarkSchedCampaignsP4Traced is the same workload fully sampled: the
+// delta against BenchmarkSchedCampaignsP4 is the whole cost of causal
+// tracing (aisle-bench -tracebench records the same pair in
+// BENCH_trace.json).
+func BenchmarkSchedCampaignsP4Traced(b *testing.B) {
+	benchConcurrentCampaigns(b, 4, TraceOptions{Enabled: true})
+}
 
 // BenchmarkSchedCampaignsP16 keeps 16 experiments per campaign in flight
 // (far past fleet capacity, exercising the fair-share queues under
 // saturation).
-func BenchmarkSchedCampaignsP16(b *testing.B) { benchConcurrentCampaigns(b, 16) }
+func BenchmarkSchedCampaignsP16(b *testing.B) { benchConcurrentCampaigns(b, 16, TraceOptions{}) }

@@ -26,6 +26,8 @@ func main() {
 	gpbench := flag.Bool("gpbench", false, "benchmark the GP/BO engine and record BENCH_optimize.json")
 	gpmacro := flag.Bool("macro", false, "with -gpbench, include the 200-campaign scheduler macro benchmarks")
 	gpout := flag.String("out", "BENCH_optimize.json", "with -gpbench, the report path")
+	tracebench := flag.Bool("tracebench", false, "benchmark tracing overhead on the scheduler macro and record BENCH_trace.json")
+	traceout := flag.String("traceout", "BENCH_trace.json", "with -tracebench, the report path")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +38,13 @@ func main() {
 	}
 	if *gpbench {
 		if err := runGPBench(*gpout, *gpmacro); err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tracebench {
+		if err := runTraceBench(*traceout); err != nil {
 			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/aisle-sim/aisle/internal/experiments"
+	"github.com/aisle-sim/aisle/internal/trace"
+)
+
+// traceModeResult is one tracing mode's measurement in BENCH_trace.json.
+type traceModeResult struct {
+	NsPerOp          int64   `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	VirtualMakespanS float64 `json:"virtual_makespan_s"`
+	Spans            int     `json:"spans,omitempty"`
+	Dropped          uint64  `json:"dropped,omitempty"`
+}
+
+// traceBenchIters runs each mode over the same seed sequence so the
+// virtual-time columns are directly comparable (and must match exactly:
+// tracing observes the simulation, it never perturbs it).
+const traceBenchIters = 5
+
+// runTraceBench measures the tracing layer's overhead on the same
+// 200-campaign parallelism-4 scheduler macro as SchedCampaignsP4, once
+// with the zero trace.Options (the production fast path) and once fully
+// sampled, and writes BENCH_trace.json.
+func runTraceBench(outPath string) error {
+	modes := []struct {
+		name string
+		opts trace.Options
+	}{
+		{"disabled", trace.Options{}},
+		{"enabled", trace.Options{Enabled: true}},
+	}
+	results := map[string]traceModeResult{}
+	for _, m := range modes {
+		r, err := measureTraceMode(m.opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		results[m.name] = r
+	}
+
+	dis, en := results["disabled"], results["enabled"]
+	if en.VirtualMakespanS != dis.VirtualMakespanS {
+		return fmt.Errorf("tracing perturbed the simulation: makespan %.3fs traced vs %.3fs untraced",
+			en.VirtualMakespanS, dis.VirtualMakespanS)
+	}
+	overhead := map[string]float64{
+		"wall_pct":             pctDelta(en.NsPerOp, dis.NsPerOp),
+		"allocs_pct":           pctDelta(en.AllocsPerOp, dis.AllocsPerOp),
+		"virtual_makespan_pct": 0, // enforced equal above
+	}
+
+	report := map[string]any{
+		"schema": "aisle/bench-trace/v1",
+		"workload": map[string]int{
+			"campaigns": macroCamps, "budget": macroBudget,
+			"parallelism": 4, "iters": traceBenchIters,
+		},
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"disabled":   dis,
+		"enabled":    en,
+		"overhead":   overhead,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	for _, m := range modes {
+		r := results[m.name]
+		fmt.Printf("  %-9s %12d ns/op %12d B/op %10d allocs/op  makespan %.0fs  spans %d\n",
+			m.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.VirtualMakespanS, r.Spans)
+	}
+	fmt.Printf("  overhead  wall %+.2f%%  allocs %+.2f%%  virtual makespan +0%% (bit-exact)\n",
+		overhead["wall_pct"], overhead["allocs_pct"])
+	return nil
+}
+
+// measureTraceMode runs the macro traceBenchIters times (seeds 42, 43, ...)
+// and averages wall time and allocations; the reported makespan is the
+// seed-42 run's, so the two modes' virtual columns compare like for like.
+func measureTraceMode(opts trace.Options) (traceModeResult, error) {
+	var out traceModeResult
+	// One untimed warmup so neither mode pays first-run cache effects.
+	if _, err := runMacroOnce(41, opts); err != nil {
+		return out, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < traceBenchIters; i++ {
+		res, err := runMacroOnce(uint64(42+i), opts)
+		if err != nil {
+			return out, err
+		}
+		if i == 0 {
+			out.VirtualMakespanS = (res.Finish - res.Start).Seconds()
+			if res.Tracer != nil {
+				out.Spans = res.Tracer.Len()
+				out.Dropped = res.Tracer.Dropped()
+			}
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	out.NsPerOp = wall.Nanoseconds() / traceBenchIters
+	out.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / traceBenchIters
+	out.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / traceBenchIters
+	return out, nil
+}
+
+func runMacroOnce(seed uint64, opts trace.Options) (experiments.SaturationResult, error) {
+	return experiments.RunSaturation(experiments.SaturationSpec{
+		Seed:        seed,
+		Campaigns:   macroCamps,
+		Budget:      macroBudget,
+		Parallelism: 4,
+		Trace:       opts,
+	})
+}
+
+func pctDelta(after, before int64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (float64(after) - float64(before)) / float64(before)
+}

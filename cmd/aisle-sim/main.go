@@ -5,9 +5,12 @@
 //
 //	aisle-sim -config scenario.json
 //	aisle-sim -example          # print a template scenario and exit
+//	aisle-sim -trace trace.json # also record a Chrome/Perfetto trace
 //
 // The scenario schema (see -example) declares sites, per-site instruments,
-// and one campaign.
+// and one campaign. With -trace the run records every span (sampling 1.0)
+// and writes a chrome://tracing-loadable JSON file plus a critical-path
+// breakdown on stderr; -metrics writes the labeled telemetry snapshot.
 package main
 
 import (
@@ -66,6 +69,8 @@ const exampleScenario = `{
 func main() {
 	configPath := flag.String("config", "", "scenario JSON path")
 	example := flag.Bool("example", false, "print a template scenario and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+	metricsPath := flag.String("metrics", "", "write a labeled telemetry snapshot JSON file")
 	flag.Parse()
 
 	if *example {
@@ -99,6 +104,7 @@ func main() {
 		Link:            aisle.DefaultLink(),
 		ZeroTrust:       sc.ZeroTrust,
 		SharedKnowledge: sc.SharedKnowledge,
+		Trace:           aisle.TraceOptions{Enabled: *tracePath != ""},
 	})
 	defer n.Stop()
 
@@ -158,6 +164,30 @@ func main() {
 	}
 	if rep.Err != nil {
 		log.Fatal(rep.Err)
+	}
+
+	if *tracePath != "" {
+		if err := n.Tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Fatalf("aisle-sim: writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "aisle-sim: wrote %d spans to %s (dropped %d)\n",
+			n.Tracer.Len(), *tracePath, n.Tracer.Dropped())
+		for _, pr := range aisle.CriticalPaths(n.Tracer.Spans()) {
+			fmt.Fprintln(os.Stderr, pr.Render())
+		}
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatalf("aisle-sim: writing metrics: %v", err)
+		}
+		if err := n.Metrics.WriteJSON(f); err != nil {
+			log.Fatalf("aisle-sim: writing metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("aisle-sim: writing metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "aisle-sim: wrote metrics snapshot to %s\n", *metricsPath)
 	}
 
 	out, _ := json.MarshalIndent(map[string]any{

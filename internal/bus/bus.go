@@ -21,6 +21,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 )
 
 // Address identifies an endpoint: a named mailbox at a site.
@@ -58,6 +59,9 @@ type Envelope struct {
 	Token   any // opaque credential checked by middleware
 	Size    int // payload size in bytes for the network model
 	Attempt int // delivery attempt, 1-based
+	// Trace is the causal context the envelope travels under; the network
+	// layer records per-hop delivery spans against it.
+	Trace trace.Context
 }
 
 // Errors surfaced to RPC callers and queue producers.
@@ -162,6 +166,7 @@ func (f *Fabric) send(env *Envelope, onSendErr func(error)) {
 		Service: "bus",
 		Size:    size,
 		Payload: env,
+		Trace:   env.Trace,
 	}
 	err := f.net.Send(msg, func(m netsim.Message) {
 		f.Broker(env.To.Site).deliver(m.Payload.(*Envelope))
@@ -288,6 +293,7 @@ func (b *Broker) reply(req *Envelope, result any, err error) {
 		Method: req.Method,
 		CorrID: req.CorrID,
 		Size:   b.fabric.DefaultSize,
+		Trace:  req.Trace,
 	}
 	if err != nil {
 		env.Payload = replyErr{msg: err.Error()}
@@ -342,6 +348,8 @@ type CallOpts struct {
 	Timeout    sim.Time  // per-attempt timeout; default 1s
 	Retries    int       // additional attempts after the first
 	Alternates []Address // failover targets tried round-robin after To fails
+	// Trace propagates the caller's causal context with every attempt.
+	Trace trace.Context
 }
 
 // Call issues an asynchronous RPC; cb runs exactly once with the reply or a
@@ -390,6 +398,7 @@ func (f *Fabric) Call(opts CallOpts, cb func(result any, err error)) {
 			Token:   opts.Token,
 			Size:    opts.Size,
 			Attempt: n + 1,
+			Trace:   opts.Trace,
 		}
 		sendFailed := false
 		f.send(env, func(error) { sendFailed = true })

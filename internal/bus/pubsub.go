@@ -2,6 +2,7 @@ package bus
 
 import (
 	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/trace"
 )
 
 // Subscribe registers fn to receive events published on topic, delivered to
@@ -55,6 +56,8 @@ type PublishOpts struct {
 	QoS         QoS
 	AckTimeout  sim.Time // redelivery timer for AtLeastOnce; default 2s
 	MaxAttempts int      // total delivery attempts before DLQ; default 4
+	// Trace propagates the publisher's causal context with each delivery.
+	Trace trace.Context
 }
 
 // Publish fans the event out to every subscriber of the topic. With
@@ -84,6 +87,7 @@ func (f *Fabric) deliverEvent(opts PublishOpts, ref subscriberRef, attempt int) 
 		Token:   opts.Token,
 		Size:    opts.Size,
 		Attempt: attempt,
+		Trace:   opts.Trace,
 	}
 	if ref.qos == AtMostOnce {
 		f.send(env, nil)

@@ -13,6 +13,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/trace"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
 
@@ -153,6 +154,14 @@ func (n *Network) RunCampaign(cfg CampaignConfig, cb func(*CampaignReport)) {
 	c.opt = optimize.NewBayes(cfg.Model.Space(), c.rnd.Fork("opt"), optimize.BayesOpts{})
 	c.approver = llm.NewApprovalModel(c.rnd.Fork("review"))
 
+	// Causal tracing: the campaign is one trace, rooted here. The trace ID
+	// derives from the same label that decorrelates replicas, so a
+	// fixed-seed run traces identically and sampling is per-campaign.
+	c.tctx = n.Tracer.Root(trace.ID(cfg.Name + "/" + cfg.SeedLabel))
+	if c.tctx.Enabled() {
+		c.root, c.tctx = c.tctx.Start(n.Eng.Now(), string(cfg.Site), trace.KindCampaign, cfg.Name)
+	}
+
 	tw := twin.NewTwin(cfg.Model, twin.Noise{})
 	switch cfg.Mode {
 	case OrchManual:
@@ -203,11 +212,61 @@ type campaign struct {
 	reuseStreak int
 	finished    bool
 
+	// Tracing state. tctx is the context under the campaign root span (the
+	// zero value when tracing is off or the trace was not sampled); root is
+	// the campaign span itself, finished in finish().
+	tctx trace.Context
+	root trace.Span
+
 	// Batched-dispatch state (Parallelism > 1).
 	launched  int                    // experiments submitted and not permanently dropped
 	flying    int                    // proposals being decided or executing
 	seq       int                    // sample-ID sequence across concurrent flights
 	flyingPts map[string]param.Point // intended points in flight, by sample ID
+}
+
+// expTrace is one experiment's span state, heap-allocated only when the
+// campaign's trace is enabled; a nil *expTrace threads through the loop for
+// free otherwise (closures capture one nil pointer, no span storage).
+type expTrace struct {
+	span trace.Span
+	ctx  trace.Context
+}
+
+// ctxOr returns the experiment's trace context, or the disabled zero value.
+func (et *expTrace) ctxOr() trace.Context {
+	if et == nil {
+		return trace.Context{}
+	}
+	return et.ctx
+}
+
+// beginExperiment opens one iteration's core.experiment span under the
+// campaign root. Returns nil when tracing is off.
+func (c *campaign) beginExperiment(sample string) *expTrace {
+	if !c.tctx.Enabled() {
+		return nil
+	}
+	et := &expTrace{}
+	et.span, et.ctx = c.tctx.Start(c.n.Eng.Now(), string(c.cfg.Site), trace.KindExperiment, sample)
+	return et
+}
+
+// endExperiment closes the iteration span.
+func (c *campaign) endExperiment(et *expTrace) {
+	if et != nil {
+		et.ctx.Finish(&et.span, c.n.Eng.Now())
+	}
+}
+
+// markReuse records the catalog-lookup wait of a knowledge hit as a
+// core.reuse span directly under the campaign root.
+func (c *campaign) markReuse(wait sim.Time) {
+	if c.tctx.Enabled() {
+		now := c.n.Eng.Now()
+		sp, cc := c.tctx.Start(now, string(c.cfg.Site), trace.KindReuse, "knowledge-hit")
+		cc.Finish(&sp, now+wait)
+	}
 }
 
 // step runs one loop iteration: ask -> (maybe reuse) -> decide -> execute.
@@ -226,24 +285,36 @@ func (c *campaign) step() {
 	// Knowledge reuse: skip experiments the federation already ran. A
 	// reuse costs a catalog lookup, not an experiment.
 	if c.tryReuse(intended) {
+		c.markReuse(30 * sim.Second)
 		c.n.Eng.Schedule(30*sim.Second, c.step)
 		return
 	}
 
-	prop := c.decide(intended)
-	c.n.Eng.Schedule(prop.Latency, func() { c.execute(prop, 0) })
+	et := c.beginExperiment(fmt.Sprintf("%s-%04d", c.cfg.Name, c.rep.Executed))
+	prop := c.decide(intended, et)
+	c.n.Eng.Schedule(prop.Latency, func() { c.execute(prop, 0, et) })
 }
 
 // decide runs the orchestration decision for an intended point, with all
 // report accounting (latency, repairs, traces, approvals). Shared by the
 // serial and batched paths.
-func (c *campaign) decide(intended param.Point) llm.Proposal {
+func (c *campaign) decide(intended param.Point, et *expTrace) llm.Proposal {
 	var prop llm.Proposal
 	goal := fmt.Sprintf("maximize %s of %s", c.cfg.Model.Objective(), c.cfg.Model.Name())
 	if c.human != nil {
 		prop = c.human.Propose(intended, c.cfg.Model.Space(), c.n.Eng.Now(), goal)
 	} else {
 		prop = c.agent.Propose(intended, c.cfg.Model.Space(), goal)
+	}
+	if et != nil {
+		// The decision's virtual extent is its modeled latency, elapsed by
+		// the caller's Schedule — span it now while the proposal is at hand.
+		now := c.n.Eng.Now()
+		sp, cc := et.ctx.Start(now, string(c.cfg.Site), trace.KindDecide, c.cfg.Mode.String())
+		if prop.Repaired {
+			sp.SetAttr("repaired", 1)
+		}
+		cc.Finish(&sp, now+prop.Latency)
 	}
 	c.rep.DecisionTime += prop.Latency
 	if prop.Repaired {
@@ -257,7 +328,7 @@ func (c *campaign) decide(intended param.Point) llm.Proposal {
 }
 
 // execute runs the emitted command on a negotiated instrument.
-func (c *campaign) execute(prop llm.Proposal, failures int) {
+func (c *campaign) execute(prop llm.Proposal, failures int, et *expTrace) {
 	rec, ok := c.site.FindInstrument(c.cfg.SynthKind, nil, "throughput_per_hr")
 	if !ok {
 		c.finish(fmt.Errorf("%w: kind %s at %s", ErrNoInstrument, c.cfg.SynthKind, c.cfg.Site))
@@ -267,6 +338,7 @@ func (c *campaign) execute(prop llm.Proposal, failures int) {
 		Action:   "synthesize",
 		Params:   prop.Emitted,
 		SampleID: fmt.Sprintf("%s-%04d", c.cfg.Name, c.rep.Executed),
+		Trace:    et.ctxOr(),
 	}
 	started := c.n.Eng.Now()
 	c.site.RunInstrument(rec, cmd, c.cfg.InstrumentTimeout, func(res instrument.Result, err error) {
@@ -276,21 +348,25 @@ func (c *campaign) execute(prop llm.Proposal, failures int) {
 			if failures+1 <= c.cfg.MaxFailuresPerPoint {
 				// Fault tolerance: retry the same command (possibly landing
 				// on another instrument after renegotiation).
-				c.execute(prop, failures+1)
+				c.execute(prop, failures+1, et)
 				return
 			}
 			// Give up on this point; move on.
+			c.endExperiment(et)
 			c.n.Eng.Schedule(0, c.step)
 			return
 		}
-		c.ingest(prop, res, func() { c.n.Eng.Schedule(0, c.step) })
+		c.ingest(prop, res, et, func() {
+			c.endExperiment(et)
+			c.n.Eng.Schedule(0, c.step)
+		})
 	})
 }
 
 // ingest scores correctness, characterizes if configured, feeds the
 // optimizer and knowledge base, records provenance, and finally invokes
 // cont to resume the owning loop (serial step or batched refill).
-func (c *campaign) ingest(prop llm.Proposal, res instrument.Result, cont func()) {
+func (c *campaign) ingest(prop llm.Proposal, res instrument.Result, et *expTrace, cont func()) {
 	c.rep.Executed++
 	if prop.Correct() {
 		c.rep.Correct++
@@ -310,7 +386,7 @@ func (c *campaign) ingest(prop llm.Proposal, res instrument.Result, cont func())
 	}
 
 	if c.cfg.UseKnowledge {
-		c.site.Knowledge.AddObservation(c.cfg.Model.Name(), prop.Emitted, value)
+		c.site.Knowledge.AddObservationT(et.ctxOr(), c.cfg.Model.Name(), prop.Emitted, value)
 	}
 
 	// Provenance + dataset record for this experiment.
@@ -333,6 +409,7 @@ func (c *campaign) ingest(prop llm.Proposal, res instrument.Result, cont func())
 				Action:   charActionFor(c.cfg.CharacterizeKind),
 				Params:   param.Point{"scan_resolution": 1, "exposure_s": 60},
 				SampleID: res.SampleID,
+				Trace:    et.ctxOr(),
 			}
 			after := func() {
 				if c.finished {
@@ -346,6 +423,7 @@ func (c *campaign) ingest(prop llm.Proposal, res instrument.Result, cont func())
 					Tenant: c.cfg.Name, Origin: c.cfg.Site,
 					Kind: c.cfg.CharacterizeKind, Cmd: cmd,
 					Timeout: c.cfg.InstrumentTimeout,
+					Trace:   et.ctxOr(),
 				}, func(instrument.Result, error) { after() })
 				return
 			}
@@ -378,6 +456,7 @@ func (c *campaign) finish(err error) {
 	c.finished = true
 	c.rep.Finished = c.n.Eng.Now()
 	c.rep.Err = err
+	c.tctx.Finish(&c.root, c.rep.Finished)
 	if c.cfg.Parallelism > 1 {
 		c.n.Sched.ReleaseTenant(c.cfg.Name)
 	}

@@ -25,6 +25,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/security"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 	"github.com/aisle-sim/aisle/internal/workflow"
 )
 
@@ -45,6 +46,10 @@ type Config struct {
 	// Sched tunes the federation-wide experiment scheduler. The zero
 	// value gets the scheduler defaults.
 	Sched sched.Options
+	// Trace enables causal tracing. The zero value keeps tracing off: the
+	// network's Tracer stays nil and every instrumentation site reduces to
+	// a pointer test.
+	Trace trace.Options
 }
 
 // DefaultLink is a realistic lab-to-lab WAN link: 15 ms propagation, 1 ms
@@ -89,6 +94,9 @@ type Network struct {
 	Workflows *workflow.Engine
 	Metrics   *telemetry.Registry
 	Sched     *sched.Scheduler
+	// Tracer records causal spans when Config.Trace enables it; nil (the
+	// default) keeps every instrumentation site on its zero-cost path.
+	Tracer *trace.Tracer
 
 	sites map[netsim.SiteID]*Site
 }
@@ -145,6 +153,7 @@ func New(cfg Config) *Network {
 		Agents:    agents.NewRuntime(fab),
 		Workflows: workflow.NewEngine(eng),
 		Metrics:   telemetry.NewRegistry(),
+		Tracer:    trace.New(cfg.Trace),
 		sites:     make(map[netsim.SiteID]*Site),
 	}
 
@@ -254,6 +263,20 @@ func (s *Site) AddInstrument(in *instrument.Instrument) {
 			respond(nil, fmt.Errorf("core: bad payload for %s", endpoint))
 			return
 		}
+		if cmd.Trace.Enabled() {
+			// Traced path: the span covers the device queue plus the action.
+			// Kept behind the branch so untraced commands share one closure
+			// shape with no span state.
+			eng := s.Network.Eng
+			sp, cc := cmd.Trace.Start(eng.Now(), string(s.ID), trace.KindInstrument, d.ID)
+			sp.SetStr("action", cmd.Action)
+			in.Submit(cmd, func(res instrument.Result) {
+				sp.SetAttr("quality", res.Quality)
+				cc.Finish(&sp, eng.Now())
+				respond(res, res.Err)
+			})
+			return
+		}
 		in.Submit(cmd, func(res instrument.Result) {
 			respond(res, res.Err)
 		})
@@ -300,6 +323,7 @@ func (s *Site) RunInstrument(rec discovery.Record, cmd instrument.Command,
 		Token:   s.ServiceToken(),
 		Size:    512,
 		Timeout: timeout,
+		Trace:   cmd.Trace,
 	}, func(result any, err error) {
 		if err != nil {
 			cb(instrument.Result{}, err)

@@ -39,6 +39,7 @@ func (c *campaign) fill() {
 			// A knowledge reuse costs a catalog lookup, not an
 			// experiment — same 30s charge as the serial path; launching
 			// resumes afterwards while in-flight work continues.
+			c.markReuse(30 * sim.Second)
 			c.n.Eng.Schedule(30*sim.Second, c.fill)
 			return
 		}
@@ -120,13 +121,14 @@ func (c *campaign) launch(intended param.Point) {
 		c.flyingPts = make(map[string]param.Point)
 	}
 	c.flyingPts[sample] = intended.Clone()
-	prop := c.decide(intended)
-	c.n.Eng.Schedule(prop.Latency, func() { c.submitSched(prop, sample, 0) })
+	et := c.beginExperiment(sample)
+	prop := c.decide(intended, et)
+	c.n.Eng.Schedule(prop.Latency, func() { c.submitSched(prop, sample, 0, et) })
 }
 
 // submitSched ships one proposal through the federation scheduler, with
 // the same retry-on-failure policy as the serial path.
-func (c *campaign) submitSched(prop llm.Proposal, sample string, failures int) {
+func (c *campaign) submitSched(prop llm.Proposal, sample string, failures int, et *expTrace) {
 	if c.finished {
 		return
 	}
@@ -140,6 +142,7 @@ func (c *campaign) submitSched(prop llm.Proposal, sample string, failures int) {
 		Action:   "synthesize",
 		Params:   prop.Emitted,
 		SampleID: sample,
+		Trace:    et.ctxOr(),
 	}
 	started := c.n.Eng.Now()
 	c.n.Sched.Submit(sched.Job{
@@ -148,6 +151,7 @@ func (c *campaign) submitSched(prop llm.Proposal, sample string, failures int) {
 		Kind:    c.cfg.SynthKind,
 		Cmd:     cmd,
 		Timeout: c.cfg.InstrumentTimeout,
+		Trace:   et.ctxOr(),
 	}, func(res instrument.Result, err error) {
 		if c.finished {
 			return
@@ -156,7 +160,7 @@ func (c *campaign) submitSched(prop llm.Proposal, sample string, failures int) {
 		if err != nil {
 			c.rep.Failures++
 			if failures+1 <= c.cfg.MaxFailuresPerPoint {
-				c.submitSched(prop, sample, failures+1)
+				c.submitSched(prop, sample, failures+1, et)
 				return
 			}
 			// Give up on this point: release its slot and its budget so
@@ -164,11 +168,13 @@ func (c *campaign) submitSched(prop llm.Proposal, sample string, failures int) {
 			delete(c.flyingPts, sample)
 			c.flying--
 			c.launched--
+			c.endExperiment(et)
 			c.n.Eng.Schedule(0, c.fill)
 			return
 		}
 		delete(c.flyingPts, sample)
-		c.ingest(prop, res, func() {
+		c.ingest(prop, res, et, func() {
+			c.endExperiment(et)
 			c.flying--
 			c.fill()
 		})

@@ -6,6 +6,8 @@ import (
 	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
 
@@ -20,6 +22,9 @@ type SaturationSpec struct {
 	Campaigns   int
 	Budget      int
 	Parallelism int
+	// Trace enables causal tracing for the run; the zero value keeps the
+	// workload on the untraced fast path.
+	Trace trace.Options
 }
 
 // SaturationResult reports a completed saturation run in virtual time.
@@ -28,6 +33,10 @@ type SaturationResult struct {
 	Finish   sim.Time // last campaign reported
 	Done     int
 	Executed int
+	// Tracer holds the run's spans when Spec.Trace enabled tracing (nil
+	// otherwise); Metrics is the federation registry either way.
+	Tracer  *trace.Tracer
+	Metrics *telemetry.Registry
 }
 
 // RunSaturation drives the spec to completion and returns the virtual
@@ -38,7 +47,8 @@ func RunSaturation(spec SaturationSpec) (SaturationResult, error) {
 		spec.Sites = 4
 	}
 	sites := siteNames(spec.Sites)
-	n := core.New(core.Config{Seed: spec.Seed, Sites: sites, Link: core.DefaultLink()})
+	n := core.New(core.Config{Seed: spec.Seed, Sites: sites, Link: core.DefaultLink(),
+		Trace: spec.Trace})
 	defer n.Stop()
 	for _, id := range sites {
 		s := n.Site(id)
@@ -50,7 +60,8 @@ func RunSaturation(spec SaturationSpec) (SaturationResult, error) {
 	if err := n.RunFor(3 * sim.Minute); err != nil {
 		return SaturationResult{}, err
 	}
-	res := SaturationResult{Start: n.Eng.Now(), Finish: n.Eng.Now()}
+	res := SaturationResult{Start: n.Eng.Now(), Finish: n.Eng.Now(),
+		Tracer: n.Tracer, Metrics: n.Metrics}
 	var failure error
 	for c := 0; c < spec.Campaigns; c++ {
 		n.RunCampaign(core.CampaignConfig{

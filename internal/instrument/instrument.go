@@ -23,6 +23,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
 
@@ -103,6 +104,9 @@ type Command struct {
 	// interlock for out-of-envelope parameters (still bounded by hard
 	// physical limits).
 	Override string
+	// Trace is the causal context the command executes under; the hosting
+	// site's endpoint records the device queue + action as a span.
+	Trace trace.Context
 }
 
 // Result is the outcome of a command.

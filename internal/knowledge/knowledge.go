@@ -16,6 +16,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/param"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 )
 
 // Kind classifies insights.
@@ -70,6 +71,10 @@ type Insight struct {
 	Source netsim.SiteID
 	Clock  VectorClock
 	At     sim.Time
+	// Trace is the causal context of the experiment that produced the
+	// insight; each receiving site records its merge as a knowledge.sync
+	// span against it.
+	Trace trace.Context
 }
 
 // Base is one site's knowledge store.
@@ -115,6 +120,15 @@ func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Fede
 			fabric.Subscribe(bus.Address{Site: s, Name: "knowledge"}, "knowledge",
 				bus.AtLeastOnce, func(env *bus.Envelope) {
 					if ins, ok := env.Payload.(*Insight); ok {
+						if ins.Trace.Enabled() {
+							// One sync span per receiving site: publish
+							// instant -> merge instant, covering the WAN
+							// propagation of the insight.
+							sp, cc := ins.Trace.Start(ins.At, string(b.site),
+								trace.KindInsight, string(ins.Kind))
+							sp.SetStr("from", string(ins.Source))
+							cc.Finish(&sp, f.eng.Now())
+						}
 						b.merge(ins)
 					}
 				})
@@ -152,6 +166,7 @@ func (b *Base) Add(ins Insight) {
 			QoS:         bus.AtLeastOnce,
 			AckTimeout:  b.fed.AckTimeout,
 			MaxAttempts: b.fed.MaxAttempts,
+			Trace:       ins.Trace,
 		})
 		b.fed.metrics.Counter("knowledge.published").Inc()
 	}
@@ -159,12 +174,19 @@ func (b *Base) Add(ins Insight) {
 
 // AddObservation is the common case: a completed experiment.
 func (b *Base) AddObservation(domain string, p param.Point, value float64) {
+	b.AddObservationT(trace.Context{}, domain, p, value)
+}
+
+// AddObservationT is AddObservation under a causal trace context, so the
+// insight's federation-wide propagation records knowledge.sync spans.
+func (b *Base) AddObservationT(ctx trace.Context, domain string, p param.Point, value float64) {
 	b.Add(Insight{
 		Kind:   KindObservation,
 		Domain: domain,
 		Point:  p.Clone(),
 		Value:  value,
 		Key:    fmt.Sprintf("%s/obs/%s", domain, p.Key()),
+		Trace:  ctx,
 	})
 }
 

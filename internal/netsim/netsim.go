@@ -18,6 +18,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 )
 
 // SiteID names an institution in the federation.
@@ -207,6 +208,8 @@ type Message struct {
 	Service string // firewall service label (e.g. "bus", "discovery")
 	Size    int    // bytes, used for serialization delay
 	Payload any
+	// Trace, when enabled, records each hop as a net.deliver span.
+	Trace trace.Context
 }
 
 // Send schedules delivery of msg; deliver runs at the arrival instant.
@@ -230,6 +233,7 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 
 	// Loopback: LAN latency only, no firewall (intra-site traffic).
 	if msg.From == msg.To {
+		n.recordHop(&msg, dst.LANLatency)
 		n.eng.Schedule(dst.LANLatency, func() { deliver(msg) })
 		n.metrics.Counter("net.delivered").Inc()
 		return nil
@@ -258,9 +262,26 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 
 	delay := n.transferDelay(link, dir, msg.Size)
 	n.metrics.Histogram("net.delay_s").Observe(delay.Seconds())
+	n.recordHop(&msg, delay)
 	n.eng.Schedule(delay, func() { deliver(msg) })
 	n.metrics.Counter("net.delivered").Inc()
 	return nil
+}
+
+// recordHop records one admitted hop as a net.deliver span under the
+// message's trace context. The whole delay is known at send time (the model
+// is deterministic given the jitter draw), so the span is recorded
+// immediately; lost messages never reach here and leave no span.
+func (n *Network) recordHop(msg *Message, delay sim.Time) {
+	if !msg.Trace.Enabled() {
+		return
+	}
+	now := n.eng.Now()
+	sp, cc := msg.Trace.Start(now, string(msg.To), trace.KindNetDeliver, msg.Service)
+	sp.SetStr("from", string(msg.From))
+	sp.SetAttr("bytes", float64(msg.Size))
+	sp.SetAttr("latency_s", delay.Seconds())
+	cc.Finish(&sp, now+delay)
 }
 
 // transferDelay computes FIFO serialization + propagation + jitter for one

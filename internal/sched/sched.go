@@ -40,6 +40,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 )
 
 // Errors surfaced to submitters.
@@ -105,6 +106,9 @@ type Job struct {
 	Cmd     instrument.Command
 	// Timeout bounds the instrument RPC (queueing + action). Default 48h.
 	Timeout sim.Time
+	// Trace is the causal context this job runs under (typically the
+	// submitting experiment's). The zero value disables tracing for the job.
+	Trace trace.Context
 }
 
 // Options tunes the scheduler. The zero value gets sane defaults.
@@ -166,6 +170,12 @@ type queuedJob struct {
 	cb       func(instrument.Result, error)
 	enqueued sim.Time
 	canceled bool
+
+	// Trace spans live here — already-heap state — so the traced path adds
+	// no allocations beyond the queuedJob itself. qspan covers enqueue ->
+	// dispatch (or expiry/cancel); dspan covers dispatch -> completion.
+	qspan, dspan trace.Span
+	qctx, dctx   trace.Context
 }
 
 // tenantQ is one tenant's FIFO plus its fair-share virtual time: each
@@ -176,13 +186,20 @@ type tenantQ struct {
 	cfg   TenantConfig
 	jobs  []*queuedJob
 	vtime float64
+	// waitHist is the tenant's labelled queue-wait series,
+	// sched.wait_s{site=...,tenant=...}, resolved once at registration so
+	// the dispatch path pays no per-event name lookup.
+	waitHist *telemetry.Histogram
 }
 
 // siteSched is the per-site dispatcher: the fair-share queues for work
 // submitted (or stolen to) this site.
 type siteSched struct {
 	bind    SiteBinding
+	met     *telemetry.Registry
 	tenants map[string]*tenantQ
+	// depth is the site's labelled queue-depth gauge, cached like waitHist.
+	depth *telemetry.Gauge
 }
 
 func (ss *siteSched) queueLen() int {
@@ -244,7 +261,12 @@ func New(eng *sim.Engine, net *netsim.Network, fab *bus.Fabric,
 
 // AddSite registers a federation site with the scheduler.
 func (s *Scheduler) AddSite(b SiteBinding) {
-	s.sites[b.ID] = &siteSched{bind: b, tenants: make(map[string]*tenantQ)}
+	s.sites[b.ID] = &siteSched{
+		bind:    b,
+		met:     s.metrics,
+		tenants: make(map[string]*tenantQ),
+		depth:   s.metrics.Gauge(telemetry.Key("sched.queue_depth", "site", string(b.ID))),
+	}
 	s.order = append(s.order, b.ID)
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
 }
@@ -297,6 +319,10 @@ func (ss *siteSched) tenant(cfg TenantConfig) *tenantQ {
 	t, ok := ss.tenants[cfg.ID]
 	if !ok {
 		t = &tenantQ{cfg: cfg}
+		if ss.met != nil {
+			t.waitHist = ss.met.Histogram(telemetry.Key("sched.wait_s",
+				"site", string(ss.bind.ID), "tenant", cfg.ID))
+		}
 		ss.tenants[cfg.ID] = t
 	} else {
 		t.cfg = cfg
@@ -342,7 +368,11 @@ func (s *Scheduler) Submit(j Job, cb func(instrument.Result, error)) {
 		t = ss.tenant(TenantConfig{ID: j.Tenant})
 	}
 	ss.syncVtime(t)
-	t.jobs = append(t.jobs, &queuedJob{job: j, cfg: t.cfg, cb: cb, enqueued: s.eng.Now()})
+	qj := &queuedJob{job: j, cfg: t.cfg, cb: cb, enqueued: s.eng.Now()}
+	if j.Trace.Enabled() {
+		qj.qspan, qj.qctx = j.Trace.Start(qj.enqueued, string(j.Origin), trace.KindSchedQueue, j.Kind)
+	}
+	t.jobs = append(t.jobs, qj)
 	s.queued++
 	s.metrics.Counter("sched.submitted").Inc()
 	s.gauges()
@@ -499,6 +529,8 @@ func (s *Scheduler) expireQueued() {
 	}
 	for _, qj := range expired {
 		s.metrics.Counter("sched.expired").Inc()
+		qj.qspan.SetStr("outcome", "expired")
+		qj.qctx.Finish(&qj.qspan, now)
 		qj.cb(instrument.Result{}, fmt.Errorf("%w: kind %s queued %v",
 			ErrExpired, qj.job.Kind, now-qj.enqueued))
 	}
@@ -534,6 +566,8 @@ func (s *Scheduler) ReleaseTenant(id string) {
 	}
 	for _, qj := range canceled {
 		s.metrics.Counter("sched.canceled").Inc()
+		qj.qspan.SetStr("outcome", "canceled")
+		qj.qctx.Finish(&qj.qspan, s.eng.Now())
 		qj.cb(instrument.Result{}, fmt.Errorf("%w: tenant %s released", ErrCanceled, id))
 	}
 	if len(canceled) > 0 {
@@ -566,7 +600,7 @@ func (s *Scheduler) tryDispatch(ss *siteSched, t *tenantQ) bool {
 	}
 	t.jobs = t.jobs[1:]
 	s.queued--
-	s.dispatch(ss, qj, rec)
+	s.dispatch(ss, t, qj, rec)
 	return true
 }
 
@@ -660,23 +694,43 @@ func (s *Scheduler) route(ss *siteSched, j Job) (discovery.Record, bool) {
 // the completion path: accounting, metrics, the submitter's callback, and
 // a pump of the instrument's host site (which observed capacity free up)
 // then the origin site.
-func (s *Scheduler) dispatch(ss *siteSched, qj *queuedJob, rec discovery.Record) {
+func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec discovery.Record) {
 	inst := rec.Instance
 	s.inflight[inst]++
 	s.flying++
-	s.metrics.Histogram("sched.wait_s").Observe((s.eng.Now() - qj.enqueued).Seconds())
+	wait := s.eng.Now() - qj.enqueued
+	s.metrics.Histogram("sched.wait_s").Observe(wait.Seconds())
+	if t.waitHist != nil {
+		t.waitHist.Observe(wait.Seconds())
+	}
 	s.metrics.Counter("sched.dispatched").Inc()
 	if rec.Addr.Site != ss.bind.ID {
 		s.metrics.Counter("sched.remote_dispatches").Inc()
 	}
 	s.gauges()
 
+	origin := ss.bind.ID
+	host := rec.Addr.Site
+	if qj.job.Trace.Enabled() {
+		now := s.eng.Now()
+		// The queue span ends where the dispatch span begins; both are
+		// siblings under the submitting experiment, so queue wait and
+		// dispatch latency attribute to scheduling separately.
+		qj.qspan.SetAttr("wait_s", wait.Seconds())
+		qj.qspan.SetStr("instance", inst)
+		qj.qctx.Finish(&qj.qspan, now)
+		qj.job.Trace.Point(now, string(origin), trace.KindSchedRoute, inst)
+		qj.dspan, qj.dctx = qj.job.Trace.Start(now, string(host), trace.KindSchedRun, inst)
+		if host != origin {
+			qj.dspan.SetStr("origin", string(origin))
+		}
+		qj.job.Cmd.Trace = qj.dctx
+	}
+
 	var token any
 	if ss.bind.Token != nil {
 		token = ss.bind.Token()
 	}
-	origin := ss.bind.ID
-	host := rec.Addr.Site
 	// Timeout covers queueing plus the action: time already spent waiting
 	// in the scheduler queue comes out of the RPC budget.
 	remaining := qj.job.Timeout - (s.eng.Now() - qj.enqueued)
@@ -691,9 +745,11 @@ func (s *Scheduler) dispatch(ss *siteSched, qj *queuedJob, rec discovery.Record)
 		Token:   token,
 		Size:    512,
 		Timeout: remaining,
+		Trace:   qj.dctx,
 	}, func(result any, err error) {
 		s.inflight[inst]--
 		s.flying--
+		qj.dctx.Finish(&qj.dspan, s.eng.Now())
 		if err != nil {
 			s.metrics.Counter("sched.failures").Inc()
 			qj.cb(instrument.Result{}, err)
@@ -761,11 +817,19 @@ func (s *Scheduler) maybeSteal(ss *siteSched) {
 	s.metrics.Counter("sched.steals").Add(int64(len(stolen)))
 	s.transit = append(s.transit, stolen...)
 	delay := s.rtt(victim.bind.ID, ss.bind.ID)
+	stealStart := s.eng.Now()
+	victimID := victim.bind.ID
 	s.eng.Schedule(delay, func() {
 		s.unTransit(stolen)
 		for _, qj := range stolen {
 			if qj.canceled {
 				continue // tenant released while the batch was in flight
+			}
+			if qj.job.Trace.Enabled() {
+				sp, cc := qj.job.Trace.Start(stealStart, string(ss.bind.ID),
+					trace.KindSchedSteal, qj.job.Kind)
+				sp.SetStr("from", string(victimID))
+				cc.Finish(&sp, s.eng.Now())
 			}
 			qj.job.Origin = ss.bind.ID
 			t, ok := ss.tenants[qj.job.Tenant]
@@ -815,11 +879,16 @@ func (s *Scheduler) stealFrom(victim, thief *siteSched, want int) []*queuedJob {
 	return out
 }
 
-// gauges refreshes the point-in-time scheduler metrics.
+// gauges refreshes the point-in-time scheduler metrics, including each
+// site's labelled queue depth (pointers cached at AddSite).
 func (s *Scheduler) gauges() {
 	s.metrics.Gauge("sched.queue_depth").Set(float64(s.queued))
 	s.metrics.Gauge("sched.inflight").Set(float64(s.flying))
 	if c := s.Capacity(); c > 0 {
 		s.metrics.Gauge("sched.utilization").Set(float64(s.flying) / float64(c))
+	}
+	for _, id := range s.order {
+		ss := s.sites[id]
+		ss.depth.Set(float64(ss.queueLen()))
 	}
 }

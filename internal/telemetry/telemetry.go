@@ -3,48 +3,74 @@
 // A Registry is attached to each simulation; experiment harnesses render
 // registries into Tables, the row/column structures that regenerate the
 // paper's milestone claims in EXPERIMENTS.md.
+//
+// All primitives are goroutine-safe: counters and gauges are lock-free
+// atomics and histograms take a short mutex per observation, so parallel
+// scorers, sharded simulation spines, and harnesses inspecting a live run
+// from another goroutine can all record and read concurrently (the CI
+// -race lane exercises this).
+//
+// Metrics can carry labels. A labelled series is addressed by its
+// canonical key — name{k1=v1,k2=v2} with keys sorted — built once with Key
+// and then used like any other metric name, so hot paths cache the
+// *Counter/*Histogram pointer and pay nothing per record. Snapshot renders
+// a registry (labels included) into a stable, JSON-encodable view.
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
-type Counter struct{ n int64 }
+// Counter is a monotonically increasing count. Goroutine-safe.
+type Counter struct{ n atomic.Int64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta, which must be non-negative.
 func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		panic("telemetry: negative counter delta")
 	}
-	c.n += delta
+	c.n.Add(delta)
 }
 
 // Value reports the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Gauge is a value that can move in both directions.
-type Gauge struct{ v float64 }
+// Gauge is a value that can move in both directions. Goroutine-safe.
+type Gauge struct{ bits atomic.Uint64 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge by delta.
-func (g *Gauge) Add(delta float64) { g.v += delta }
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Value reports the current value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates observations with exact mean tracking plus
 // log-spaced buckets for quantile estimation. Buckets span [1e-9, ~1e12)
 // with 10 buckets per decade, adequate for latencies in seconds or counts.
+// Goroutine-safe: one short mutex per observation.
 type Histogram struct {
+	mu      sync.Mutex
 	count   int64
 	sum     float64
 	min     float64
@@ -77,6 +103,7 @@ func bucketUpper(i int) float64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -86,16 +113,27 @@ func (h *Histogram) Observe(v float64) {
 	h.count++
 	h.sum += v
 	h.buckets[bucketFor(v)]++
+	h.mu.Unlock()
 }
 
 // Count reports the number of observations.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum reports the sum of observations.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean reports the arithmetic mean, or 0 with no observations.
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -103,15 +141,29 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Min reports the smallest observation, or 0 with none.
-func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
 // Max reports the largest observation, or 0 with none.
-func (h *Histogram) Max() float64 { return h.max }
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Quantile estimates the q-quantile (0<=q<=1) from the log buckets. The
 // estimate is the upper bound of the bucket containing the quantile, so it
 // is conservative (never under-reports a latency).
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -139,8 +191,44 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Key builds the canonical name of a labelled series: name{k1=v1,k2=v2}
+// with label keys sorted, so the same label set always addresses the same
+// metric regardless of argument order. kv is alternating key, value pairs;
+// an odd trailing key is ignored. With no labels Key returns name unchanged.
+//
+// Key allocates; hot paths should call it once and cache the returned
+// *Counter/*Gauge/*Histogram pointer.
+func Key(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	n := len(kv) / 2
+	type pair struct{ k, v string }
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{kv[2*i], kv[2*i+1]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // Registry is a namespace of named metrics. The zero value is ready to use.
+// Lookups are goroutine-safe; hot paths should still cache the returned
+// metric pointer rather than re-resolving names per event.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -151,10 +239,18 @@ func NewRegistry() *Registry { return &Registry{} }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.counters == nil {
 		r.counters = make(map[string]*Counter)
 	}
-	c, ok := r.counters[name]
+	c, ok = r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
@@ -164,10 +260,18 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.gauges == nil {
 		r.gauges = make(map[string]*Gauge)
 	}
-	g, ok := r.gauges[name]
+	g, ok = r.gauges[name]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
@@ -177,10 +281,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.hists == nil {
 		r.hists = make(map[string]*Histogram)
 	}
-	h, ok := r.hists[name]
+	h, ok = r.hists[name]
 	if !ok {
 		h = &Histogram{}
 		r.hists[name] = h
@@ -190,6 +302,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Names returns the sorted names of all metrics of every kind.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var names []string
 	for n := range r.counters {
 		names = append(names, n)
@@ -202,6 +316,94 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// HistogramSnapshot is the point-in-time summary of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a consistent-per-metric view of a registry, including
+// labelled series under their canonical keys. It JSON-encodes with sorted
+// keys, so two identical registries serialize byte-identically.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	counterNames := make([]string, 0, len(r.counters))
+	for n, c := range r.counters {
+		counterNames = append(counterNames, n)
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gaugeNames = append(gaugeNames, n)
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	histNames := make([]string, 0, len(r.hists))
+	for n, h := range r.hists {
+		histNames = append(histNames, n)
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+
+	var snap Snapshot
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for i, c := range counters {
+			snap.Counters[counterNames[i]] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for i, g := range gauges {
+			snap.Gauges[gaugeNames[i]] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for i, h := range hists {
+			h.mu.Lock()
+			hs := HistogramSnapshot{
+				Count: h.count,
+				Sum:   h.sum,
+				Min:   h.min,
+				Max:   h.max,
+				P50:   h.quantileLocked(0.50),
+				P90:   h.quantileLocked(0.90),
+				P99:   h.quantileLocked(0.99),
+			}
+			if h.count > 0 {
+				hs.Mean = h.sum / float64(h.count)
+			}
+			h.mu.Unlock()
+			snap.Histograms[histNames[i]] = hs
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the registry's Snapshot to w as indented JSON. Output is
+// deterministic: encoding/json sorts map keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
 }
 
 // Table is a rendered experiment result: a named grid of rows that mirrors

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -187,6 +188,133 @@ func TestRegistryNames(t *testing.T) {
 	names := r.Names()
 	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
 		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestKeyCanonicalizesLabels(t *testing.T) {
+	a := Key("sched.wait_s", "tenant", "alice", "site", "ornl")
+	b := Key("sched.wait_s", "site", "ornl", "tenant", "alice")
+	if a != b {
+		t.Fatalf("label order changed the key: %q vs %q", a, b)
+	}
+	if want := "sched.wait_s{site=ornl,tenant=alice}"; a != want {
+		t.Fatalf("key = %q, want %q", a, want)
+	}
+	if got := Key("plain"); got != "plain" {
+		t.Fatalf("no-label key = %q", got)
+	}
+	if got := Key("odd", "dangling"); got != "odd" {
+		t.Fatalf("odd kv key = %q", got)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter(Key("jobs.dispatched", "site", "ornl")).Add(7)
+		r.Counter(Key("jobs.dispatched", "site", "anl")).Add(3)
+		r.Gauge("queue.depth").Set(4)
+		h := r.Histogram(Key("sched.wait_s", "tenant", "t0"))
+		h.Observe(0.5)
+		h.Observe(1.5)
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	for _, frag := range []string{
+		`"jobs.dispatched{site=anl}": 3`,
+		`"jobs.dispatched{site=ornl}": 7`,
+		`"queue.depth": 4`,
+		`"sched.wait_s{tenant=t0}"`,
+		`"count": 2`,
+		`"mean": 1`,
+	} {
+		if !strings.Contains(a, frag) {
+			t.Fatalf("snapshot missing %q:\n%s", frag, a)
+		}
+	}
+}
+
+func TestSnapshotEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("never.observed")
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms["never.observed"]
+	if !ok {
+		t.Fatal("empty histogram missing from snapshot")
+	}
+	if hs.Count != 0 || hs.Mean != 0 || hs.P50 != 0 || hs.P90 != 0 || hs.P99 != 0 {
+		t.Fatalf("empty histogram snapshot not all-zero: %+v", hs)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"never.observed"`) {
+		t.Fatalf("empty histogram absent from JSON:\n%s", b.String())
+	}
+}
+
+func TestSnapshotQuantilesBracketObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if hs.P50 < 0.4 || hs.P50 > 0.7 {
+		t.Fatalf("p50 = %v", hs.P50)
+	}
+	if hs.P99 < 0.9 || hs.P99 > 1.0 {
+		t.Fatalf("p99 = %v", hs.P99)
+	}
+	if hs.P50 > hs.P90 || hs.P90 > hs.P99 {
+		t.Fatalf("quantiles not monotone: %+v", hs)
+	}
+}
+
+// Exercised under the CI -race lane: concurrent writers and readers on every
+// primitive plus registry lookups must be data-race free.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			ga := r.Gauge("g")
+			h := r.Histogram("h")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i%10) + 0.1)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.Names()
+					_ = h.Quantile(0.9)
+				}
+				// Distinct names force concurrent map growth too.
+				r.Counter(Key("per", "g", string(rune('a'+g)))).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("g").Value(); got != goroutines*iters {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("h").Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
 	}
 }
 

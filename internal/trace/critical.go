@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+// Critical-path analysis: given the span forest of a run, attribute each
+// trace's end-to-end virtual latency to the layer that actually spent it.
+//
+// The model is self time. A span's self time is its duration minus the
+// union of its direct children's intervals (clipped to the span), so time a
+// scheduler queue span spends waiting counts as scheduling, while the
+// instrument action nested inside a dispatch span counts as instrument
+// time, not double-counted as dispatch. Summing self time by span kind
+// yields the layer breakdown; the root's own self time is the untraced
+// residue, and 1 - residue/total is the trace's coverage — the fraction of
+// campaign wall-clock the tracing layer can account for.
+
+// KindShare is one layer's share of a trace's latency.
+type KindShare struct {
+	Kind string
+	Self sim.Time
+	// Spans is how many spans of this kind contributed.
+	Spans int
+}
+
+// PathReport is the critical-path breakdown of one trace.
+type PathReport struct {
+	TraceID uint64
+	Root    Span
+	// Total is the root span's virtual duration.
+	Total sim.Time
+	// ByKind lists each layer's self time, largest first.
+	ByKind []KindShare
+	// Untraced is the root's self time: wall-clock no child span covers.
+	Untraced sim.Time
+	// Coverage is 1 - Untraced/Total, in [0,1].
+	Coverage float64
+	// Dominant is the kind with the largest self time (excluding the root).
+	Dominant string
+}
+
+// CriticalPaths groups spans by trace and extracts one PathReport per trace
+// that has a root span (ParentID == 0). Reports are ordered by root start
+// time, then trace ID, so output is deterministic.
+func CriticalPaths(spans []Span) []PathReport {
+	children := make(map[uint64][]int, len(spans)) // parent span ID -> span indices
+	roots := make([]int, 0, 8)
+	for i := range spans {
+		if spans[i].ParentID == 0 {
+			roots = append(roots, i)
+		} else {
+			children[spans[i].ParentID] = append(children[spans[i].ParentID], i)
+		}
+	}
+
+	var reports []PathReport
+	for _, ri := range roots {
+		reports = append(reports, extract(spans, children, ri))
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Root.Start != reports[j].Root.Start {
+			return reports[i].Root.Start < reports[j].Root.Start
+		}
+		return reports[i].TraceID < reports[j].TraceID
+	})
+	return reports
+}
+
+type interval struct{ lo, hi sim.Time }
+
+// coverage returns the total length of the union of ivs clipped to
+// [lo, hi]. ivs is sorted in place.
+func coverage(ivs []interval, lo, hi sim.Time) sim.Time {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var covered sim.Time
+	cur := interval{lo: lo, hi: lo}
+	started := false
+	for _, iv := range ivs {
+		if iv.lo < lo {
+			iv.lo = lo
+		}
+		if iv.hi > hi {
+			iv.hi = hi
+		}
+		if iv.hi <= iv.lo {
+			continue
+		}
+		if !started || iv.lo > cur.hi {
+			if started {
+				covered += cur.hi - cur.lo
+			}
+			cur, started = iv, true
+			continue
+		}
+		if iv.hi > cur.hi {
+			cur.hi = iv.hi
+		}
+	}
+	if started {
+		covered += cur.hi - cur.lo
+	}
+	return covered
+}
+
+// extract walks one trace's tree accumulating self time by kind.
+func extract(spans []Span, children map[uint64][]int, ri int) PathReport {
+	root := spans[ri]
+	rep := PathReport{TraceID: root.TraceID, Root: root, Total: root.Duration()}
+	byKind := make(map[string]*KindShare)
+
+	var ivs []interval
+	var walk func(i int) sim.Time
+	walk = func(i int) sim.Time {
+		sp := &spans[i]
+		kids := children[sp.SpanID]
+		ivs = ivs[:0]
+		for _, k := range kids {
+			ivs = append(ivs, interval{spans[k].Start, spans[k].End})
+		}
+		self := sp.Duration() - coverage(ivs, sp.Start, sp.End)
+		if self < 0 {
+			self = 0
+		}
+		// Recurse after the union: walk reuses ivs.
+		for _, k := range kids {
+			kSelf := walk(k)
+			ks := byKind[spans[k].Kind]
+			if ks == nil {
+				ks = &KindShare{Kind: spans[k].Kind}
+				byKind[spans[k].Kind] = ks
+			}
+			ks.Self += kSelf
+			ks.Spans++
+		}
+		return self
+	}
+	rep.Untraced = walk(ri)
+
+	for _, ks := range byKind {
+		rep.ByKind = append(rep.ByKind, *ks)
+	}
+	sort.Slice(rep.ByKind, func(i, j int) bool {
+		if rep.ByKind[i].Self != rep.ByKind[j].Self {
+			return rep.ByKind[i].Self > rep.ByKind[j].Self
+		}
+		return rep.ByKind[i].Kind < rep.ByKind[j].Kind
+	})
+	if len(rep.ByKind) > 0 {
+		rep.Dominant = rep.ByKind[0].Kind
+	}
+	if rep.Total > 0 {
+		rep.Coverage = 1 - float64(rep.Untraced)/float64(rep.Total)
+	}
+	return rep
+}
+
+// Render draws the report as an aligned text table for terminals.
+func (r *PathReport) Render() string {
+	var b strings.Builder
+	name := r.Root.Name
+	if name == "" {
+		name = fmt.Sprintf("trace %016x", r.TraceID)
+	}
+	fmt.Fprintf(&b, "critical path: %s  total %v  coverage %.1f%%  dominant %s\n",
+		name, r.Total, 100*r.Coverage, r.Dominant)
+	for _, ks := range r.ByKind {
+		pct := 0.0
+		if r.Total > 0 {
+			pct = 100 * float64(ks.Self) / float64(r.Total)
+		}
+		fmt.Fprintf(&b, "  %-16s %12v  %5.1f%%  (%d spans)\n", ks.Kind, ks.Self, pct, ks.Spans)
+	}
+	if r.Untraced > 0 {
+		pct := 0.0
+		if r.Total > 0 {
+			pct = 100 * float64(r.Untraced)/float64(r.Total)
+		}
+		fmt.Fprintf(&b, "  %-16s %12v  %5.1f%%\n", "(untraced)", r.Untraced, pct)
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export: the held spans serialized in the Trace Event
+// Format understood by chrome://tracing and Perfetto. Mapping:
+//
+//   - each federation site becomes a process (pid), named via metadata
+//     events, so the per-site lanes mirror the physical federation;
+//   - each trace (campaign) becomes a thread (tid) inside the sites it
+//     touched, so one campaign's causal path lines up across sites;
+//   - each span becomes a complete ("ph":"X") event with microsecond
+//     virtual timestamps and its span/parent IDs and attributes in args.
+//
+// Output is deterministic: sites sort by name, traces by first appearance
+// in the deterministic span order, and encoding uses fixed field order —
+// a fixed-seed run exports byte-identical JSON (the golden-file test).
+
+// chromeEvent is one trace_event entry. Field order is the wire order.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds of virtual time
+	Dur   *float64       `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes every held span to w in Chrome trace_event
+// JSON. Virtual nanoseconds map to trace microseconds (the format's native
+// unit), preserving relative timing exactly.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Deterministic compact IDs: sites sorted, traces by first appearance.
+	siteIdx := make(map[string]int)
+	for _, s := range t.Sites() {
+		siteIdx[s] = len(siteIdx) + 1
+	}
+	traceIdx := make(map[uint64]uint64)
+	for i := range spans {
+		if _, ok := traceIdx[spans[i].TraceID]; !ok {
+			traceIdx[spans[i].TraceID] = uint64(len(traceIdx) + 1)
+		}
+	}
+
+	ct := chromeTrace{DisplayUnit: "ms"}
+	sites := t.Sites()
+	for _, site := range sites {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: siteIdx[site],
+			Args: map[string]any{"name": "site " + site},
+		})
+	}
+	for i := range spans {
+		sp := &spans[i]
+		dur := float64(sp.Duration()) / 1e3
+		args := map[string]any{
+			"trace_id": fmt.Sprintf("%016x", sp.TraceID),
+			"span_id":  sp.SpanID,
+		}
+		if sp.ParentID != 0 {
+			args["parent_id"] = sp.ParentID
+		}
+		for _, a := range sp.Attrs() {
+			if a.Str != "" {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Val
+			}
+		}
+		name := sp.Name
+		if name == "" {
+			name = sp.Kind
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name:  name,
+			Cat:   sp.Kind,
+			Phase: "X",
+			TS:    float64(sp.Start) / 1e3,
+			Dur:   &dur,
+			PID:   siteIdx[sp.Site],
+			TID:   traceIdx[sp.TraceID],
+		})
+		ct.TraceEvents[len(ct.TraceEvents)-1].Args = args
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// WriteChromeTraceFile is WriteChromeTrace to a path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
