@@ -30,6 +30,7 @@
 package aisle
 
 import (
+	"github.com/aisle-sim/aisle/internal/chaos"
 	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
@@ -83,6 +84,9 @@ type (
 	SchedClass = sched.Class
 	// SchedTenant describes one fair-share tenant.
 	SchedTenant = sched.TenantConfig
+	// SchedJob is one experiment submission (Network.Sched.Submit); set
+	// MaxRetries for the self-healing retry budget.
+	SchedJob = sched.Job
 )
 
 // Scheduler priority classes.
@@ -153,7 +157,54 @@ type (
 	Alloy = twin.Alloy
 	// Reaction models homogeneous catalysis yield.
 	Reaction = twin.Reaction
+	// Electrolyte models liquid battery-electrolyte formulation.
+	Electrolyte = twin.Electrolyte
 )
+
+// Chaos harness: seeded fault schedules, a fault injector, and the
+// invariant checker that together make up the robustness test surface.
+// Generate a schedule with ChaosSchedule, bind an injector to an assembled
+// federation with ChaosBind + NewChaosInjector, and watch invariants with
+// NewChaosChecker. Pair with SchedulerOptions.Recover and Job.MaxRetries
+// for the self-healing policy the injections are designed to exercise.
+type (
+	// ChaosConfig parameterizes seeded fault-schedule generation.
+	ChaosConfig = chaos.Config
+	// ChaosEvent is one scheduled fault window (pure data).
+	ChaosEvent = chaos.Event
+	// ChaosKind classifies a fault window.
+	ChaosKind = chaos.Kind
+	// ChaosTarget is the set of federation handles the injector drives.
+	ChaosTarget = chaos.Target
+	// ChaosInjector applies a schedule to a target on the sim clock.
+	ChaosInjector = chaos.Injector
+	// ChaosChecker accumulates invariant violations during a chaos run.
+	ChaosChecker = chaos.Checker
+)
+
+// Fault kinds.
+const (
+	ChaosSiteOutage = chaos.KindSiteOutage
+	ChaosPartition  = chaos.KindPartition
+	ChaosDegrade    = chaos.KindDegrade
+	ChaosBadCreds   = chaos.KindBadCreds
+	ChaosByzantine  = chaos.KindByzantine
+)
+
+// ChaosSchedule expands a seed into a reproducible fault schedule over the
+// given sites.
+func ChaosSchedule(cfg ChaosConfig, sites []SiteID) []ChaosEvent {
+	return chaos.Schedule(cfg, sites)
+}
+
+// ChaosBind derives an injection target from an assembled federation.
+func ChaosBind(n *Network) ChaosTarget { return chaos.Bind(n) }
+
+// NewChaosInjector builds an injector over a target.
+func NewChaosInjector(tgt ChaosTarget) *ChaosInjector { return chaos.NewInjector(tgt) }
+
+// NewChaosChecker builds an empty invariant checker.
+func NewChaosChecker() *ChaosChecker { return chaos.NewChecker() }
 
 // Virtual time (nanoseconds); see the sim package for arithmetic helpers.
 type Time = sim.Time

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/aisle-sim/aisle/internal/experiments"
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+// chaosCellResult is one chaos-matrix cell in BENCH_chaos.json.
+type chaosCellResult struct {
+	Intensity      float64  `json:"fault_intensity"`
+	Recovery       string   `json:"recovery"`
+	Submitted      int      `json:"submitted"`
+	Completed      int      `json:"completed"`
+	Failed         int      `json:"failed"`
+	CompletionRate float64  `json:"completion_rate"`
+	P99LatencyS    float64  `json:"p99_latency_s"`
+	RecoveryS      float64  `json:"recovery_s"`
+	Injections     int      `json:"injections"`
+	Quarantined    int      `json:"quarantined"`
+	Violations     []string `json:"violations,omitempty"`
+	WallS          float64  `json:"wall_s"`
+}
+
+// Chaos benchmark workload: the same proven configuration as the
+// recovery-vs-baseline property test, so the checked-in numbers and the CI
+// assertion describe one scenario.
+const (
+	chaosBenchSeed    = 2
+	chaosBenchJobs    = 300
+	chaosBenchHorizon = 3 * sim.Hour
+)
+
+// runChaosBench sweeps fault intensity with the self-healing policy on,
+// plus a no-recovery baseline at 15% intensity, and writes BENCH_chaos.json.
+// It fails if any invariant is violated, if the healed 15% cell completes
+// under 95%, or if recovery does not beat the baseline.
+func runChaosBench(outPath string) error {
+	type cellSpec struct {
+		intensity float64
+		recovery  bool
+	}
+	cells := []cellSpec{
+		{0, true}, {0.05, true}, {0.15, true}, {0.30, true},
+		{0.15, false}, // the degradation baseline the headline compares against
+	}
+	results := make([]chaosCellResult, 0, len(cells))
+	for _, c := range cells {
+		start := time.Now()
+		r, err := experiments.RunChaos(experiments.ChaosSpec{
+			Seed:      chaosBenchSeed,
+			Jobs:      chaosBenchJobs,
+			Horizon:   chaosBenchHorizon,
+			Intensity: c.intensity,
+			Recovery:  c.recovery,
+		})
+		if err != nil {
+			return fmt.Errorf("intensity %.0f%% recovery=%v: %w", c.intensity*100, c.recovery, err)
+		}
+		policy := "none"
+		if c.recovery {
+			policy = "retry+reroute"
+		}
+		results = append(results, chaosCellResult{
+			Intensity:      c.intensity,
+			Recovery:       policy,
+			Submitted:      r.Submitted,
+			Completed:      r.Completed,
+			Failed:         r.Failed,
+			CompletionRate: r.CompletionRate,
+			P99LatencyS:    r.P99LatencyS,
+			RecoveryS:      r.RecoveryS,
+			Injections:     r.Injections,
+			Quarantined:    r.Quarantined,
+			Violations:     r.Violations,
+			WallS:          time.Since(start).Seconds(),
+		})
+	}
+
+	var healed15, base15 chaosCellResult
+	for _, r := range results {
+		if len(r.Violations) > 0 {
+			return fmt.Errorf("intensity %.0f%% %s: %d invariant violations (first: %s)",
+				r.Intensity*100, r.Recovery, len(r.Violations), r.Violations[0])
+		}
+		if r.Intensity == 0.15 {
+			if r.Recovery == "none" {
+				base15 = r
+			} else {
+				healed15 = r
+			}
+		}
+	}
+	if healed15.CompletionRate < 0.95 {
+		return fmt.Errorf("healed 15%% cell completed %.1f%% < 95%%", healed15.CompletionRate*100)
+	}
+	if healed15.CompletionRate <= base15.CompletionRate {
+		return fmt.Errorf("recovery (%.1f%%) did not beat the no-recovery baseline (%.1f%%) at 15%%",
+			healed15.CompletionRate*100, base15.CompletionRate*100)
+	}
+
+	report := map[string]any{
+		"schema": "aisle/bench-chaos/v1",
+		"workload": map[string]any{
+			"seed": chaosBenchSeed, "jobs": chaosBenchJobs,
+			"horizon_s": chaosBenchHorizon.Seconds(), "sites": 5,
+		},
+		"cells": results,
+		"headline": map[string]float64{
+			"completion_rate_healed_15pct":   healed15.CompletionRate,
+			"completion_rate_baseline_15pct": base15.CompletionRate,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	for _, r := range results {
+		fmt.Printf("  %3.0f%% %-13s completion %5.1f%%  p99 %6.0fs  recovery %5.0fs  injections %2d  quarantined %2d  [%.1fs wall]\n",
+			r.Intensity*100, r.Recovery, r.CompletionRate*100,
+			r.P99LatencyS, r.RecoveryS, r.Injections, r.Quarantined, r.WallS)
+	}
+	return nil
+}

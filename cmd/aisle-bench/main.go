@@ -28,6 +28,8 @@ func main() {
 	gpout := flag.String("out", "BENCH_optimize.json", "with -gpbench, the report path")
 	tracebench := flag.Bool("tracebench", false, "benchmark tracing overhead on the scheduler macro and record BENCH_trace.json")
 	traceout := flag.String("traceout", "BENCH_trace.json", "with -tracebench, the report path")
+	chaosbench := flag.Bool("chaosbench", false, "run the chaos matrix under invariant checking and record BENCH_chaos.json")
+	chaosout := flag.String("chaosout", "BENCH_chaos.json", "with -chaosbench, the report path")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +47,13 @@ func main() {
 	}
 	if *tracebench {
 		if err := runTraceBench(*traceout); err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosbench {
+		if err := runChaosBench(*chaosout); err != nil {
 			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
 			os.Exit(1)
 		}

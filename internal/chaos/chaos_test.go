@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/rng"
+	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/twin"
+)
+
+func scheduleSites(n int) []netsim.SiteID {
+	out := make([]netsim.SiteID, n)
+	for i := range out {
+		out[i] = netsim.SiteID(string(rune('a' + i)))
+	}
+	return out
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, Horizon: 12 * sim.Hour, Intensity: 0.3}
+	sites := scheduleSites(5)
+	a := Schedule(cfg, sites)
+	b := Schedule(cfg, sites)
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty schedule at 30% intensity over 12h")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Schedule(Config{Seed: 100, Horizon: 12 * sim.Hour, Intensity: 0.3}, sites)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleRespectsConfig(t *testing.T) {
+	cfg := Config{Seed: 7, Horizon: 24 * sim.Hour, Intensity: 0.2,
+		Kinds: []Kind{KindPartition}}
+	sites := scheduleSites(4)
+	evs := Schedule(cfg, sites)
+	if len(evs) == 0 {
+		t.Fatal("expected events")
+	}
+	last := sim.Time(-1)
+	for _, ev := range evs {
+		if ev.Kind != KindPartition {
+			t.Fatalf("kind %s outside restricted set", ev.Kind)
+		}
+		if ev.At < last {
+			t.Fatal("schedule not sorted by start time")
+		}
+		last = ev.At
+		if ev.At >= cfg.Horizon {
+			t.Fatalf("event at %v past horizon %v", ev.At, cfg.Horizon)
+		}
+		if ev.Duration < 5*sim.Minute || ev.Duration > 30*sim.Minute {
+			t.Fatalf("duration %v outside default bounds", ev.Duration)
+		}
+	}
+	if got := Schedule(Config{Seed: 7, Horizon: 24 * sim.Hour}, sites); got != nil {
+		t.Fatal("zero intensity should produce an empty schedule")
+	}
+}
+
+// injectorTestbed is a two-site network with one instrument each.
+func injectorTestbed(t *testing.T) (*sim.Engine, *netsim.Network, Target) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rnd := rng.New(3)
+	net := netsim.New(eng, rnd.Fork("net"))
+	sites := []netsim.SiteID{"a", "b"}
+	for _, id := range sites {
+		net.AddSite(id).Firewall.AllowAll()
+	}
+	net.FullMesh(sites, netsim.Link{Latency: 10 * sim.Millisecond, Bandwidth: 125e6})
+	fleets := make(map[netsim.SiteID]*instrument.Fleet)
+	for _, id := range sites {
+		f := instrument.NewFleet()
+		f.Add(instrument.NewFluidicReactor(eng, rnd, "flow-"+string(id), string(id), twin.Perovskite{}))
+		fleets[id] = f
+	}
+	return eng, net, Target{
+		Eng: eng, Net: net, Fleets: fleets, Sites: sites,
+		Metrics: telemetry.NewRegistry(),
+	}
+}
+
+func TestInjectorSiteOutageAndRestore(t *testing.T) {
+	eng, net, tgt := injectorTestbed(t)
+	inj := NewInjector(tgt)
+	inj.Run([]Event{{Kind: KindSiteOutage, At: sim.Minute, Duration: 10 * sim.Minute, Site: "a"}})
+
+	if err := eng.RunUntil(2 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := tgt.Fleets["a"].Get("flow-a")
+	if got := in.State(); got != instrument.StateDown {
+		t.Fatalf("instrument state during outage = %v, want down", got)
+	}
+	if net.Reachable("a", "b", "bus") {
+		t.Fatal("site a should be unreachable during its outage")
+	}
+	if err := eng.RunUntil(15 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.State(); got != instrument.StateIdle {
+		t.Fatalf("instrument state after heal = %v, want idle", got)
+	}
+	if !net.Reachable("a", "b", "bus") {
+		t.Fatal("links should be healed after the window")
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", inj.Injected())
+	}
+	if got := tgt.Metrics.Counter(telemetry.Key("chaos.injections", "kind", string(KindSiteOutage))).Value(); got != 1 {
+		t.Fatalf("chaos.injections counter = %d, want 1", got)
+	}
+	if heal := inj.LastHeal(); heal != 11*sim.Minute {
+		t.Fatalf("LastHeal = %v, want 11m", heal)
+	}
+}
+
+func TestInjectorOverlappingCutsRefcount(t *testing.T) {
+	eng, net, tgt := injectorTestbed(t)
+	inj := NewInjector(tgt)
+	inj.Run([]Event{
+		{Kind: KindPartition, At: 0, Duration: 10 * sim.Minute, Site: "a"},
+		{Kind: KindPartition, At: 5 * sim.Minute, Duration: 10 * sim.Minute, Site: "a"},
+	})
+	// First window heals at 10m but the second still holds the site dark.
+	if err := eng.RunUntil(12 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if net.Reachable("a", "b", "bus") {
+		t.Fatal("overlapping window should keep links down at 12m")
+	}
+	if err := eng.RunUntil(16 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Reachable("a", "b", "bus") {
+		t.Fatal("links should heal once the last window ends")
+	}
+}
+
+func TestInjectorDegradeRestoresSettings(t *testing.T) {
+	eng, _, tgt := injectorTestbed(t)
+	in, _ := tgt.Fleets["b"].Get("flow-b")
+	pf, pd := in.FailureProb(), in.DriftPerAction()
+	inj := NewInjector(tgt)
+	inj.Run([]Event{{Kind: KindDegrade, At: 0, Duration: 5 * sim.Minute,
+		Site: "b", FailureProb: 0.4, Drift: 0.03}})
+	if err := eng.RunUntil(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if in.FailureProb() != 0.4 || in.DriftPerAction() != 0.03 {
+		t.Fatalf("degrade not applied: failure=%g drift=%g", in.FailureProb(), in.DriftPerAction())
+	}
+	if err := eng.RunUntil(6 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if in.FailureProb() != pf || in.DriftPerAction() != pd {
+		t.Fatalf("degrade not restored: failure=%g drift=%g", in.FailureProb(), in.DriftPerAction())
+	}
+}
+
+func TestInjectorSkipsHooklessKinds(t *testing.T) {
+	eng, _, tgt := injectorTestbed(t)
+	inj := NewInjector(tgt)
+	inj.Run([]Event{
+		{Kind: KindBadCreds, At: 0, Duration: sim.Minute, Site: "a"},
+		{Kind: KindByzantine, At: 0, Duration: sim.Minute, Site: "a"},
+	})
+	if err := eng.RunUntil(2 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Injected() != 0 || inj.Skipped() != 2 {
+		t.Fatalf("injected=%d skipped=%d, want 0/2 without hooks", inj.Injected(), inj.Skipped())
+	}
+}
+
+func TestCheckerTerminalAudit(t *testing.T) {
+	c := NewChecker()
+	c.Submitted("a")
+	c.Submitted("b")
+	c.Submitted("c")
+	c.Terminal("a", nil)
+	c.Terminal("b", errors.New("boom"))
+	c.Terminal("b", nil) // double terminal
+	// c never terminates.
+	v := c.Check()
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want double-terminal for b and missing terminal for c", v)
+	}
+}
+
+func TestCheckerWatchNet(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, rng.New(1).Fork("net"))
+	for _, id := range []netsim.SiteID{"a", "b"} {
+		net.AddSite(id).Firewall.AllowAll()
+	}
+	net.FullMesh([]netsim.SiteID{"a", "b"}, netsim.Link{Latency: 50 * sim.Millisecond, Bandwidth: 125e6})
+	c := NewChecker()
+	c.WatchNet(net)
+
+	// Healthy delivery: no violation.
+	if err := net.Send(netsim.Message{From: "a", To: "b", Service: "bus", Size: 100}, func(netsim.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", c.Violations())
+	}
+
+	// Cut the link while a message is in flight: without DropInFlight the
+	// delivery commits anyway and the checker must flag it.
+	if err := net.Send(netsim.Message{From: "a", To: "b", Service: "bus", Size: 100}, func(netsim.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	net.SetLinkUp("a", "b", false)
+	if err := eng.RunUntil(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want exactly the down-link delivery", c.Violations())
+	}
+
+	// With DropInFlight the same race drops the message instead.
+	net.SetLinkUp("a", "b", true)
+	net.DropInFlight = true
+	delivered := false
+	if err := net.Send(netsim.Message{From: "a", To: "b", Service: "bus", Size: 100}, func(netsim.Message) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	net.SetLinkUp("a", "b", false)
+	if err := eng.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("DropInFlight should have dropped the in-flight message")
+	}
+	if len(c.Violations()) != 1 {
+		t.Fatalf("drop path should add no violations, got %v", c.Violations())
+	}
+}

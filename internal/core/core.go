@@ -180,7 +180,7 @@ func New(cfg Config) *Network {
 	// The federation scheduler routes experiments across every site's
 	// fleet; bindings give it each site's directory view, local fleet
 	// state, and service credential.
-	n.Sched = sched.New(eng, net, fab, n.Metrics, cfg.Sched)
+	n.Sched = sched.New(eng, net, fab, n.Metrics, rnd.Fork("sched"), cfg.Sched)
 	for _, id := range cfg.Sites {
 		s := n.sites[id]
 		n.Sched.AddSite(sched.SiteBinding{

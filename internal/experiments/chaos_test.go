@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+// TestChaosInvariantsAcrossSeeds is the seeded property test behind E16's
+// acceptance bar: 5 seeds x 120 jobs = 600 submissions under randomized
+// fault schedules at 30% intensity with the self-healing policy on. Every
+// job must reach exactly one terminal callback and every continuous
+// invariant must hold.
+func TestChaosInvariantsAcrossSeeds(t *testing.T) {
+	for s := 0; s < 5; s++ {
+		seed := uint64(7000 + s*131)
+		res, err := RunChaos(ChaosSpec{
+			Seed:      seed,
+			Jobs:      120,
+			Horizon:   2 * sim.Hour,
+			Intensity: 0.30,
+			Recovery:  true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := res.Completed + res.Failed; got != res.Submitted {
+			t.Errorf("seed %d: %d terminal outcomes for %d submissions", seed, got, res.Submitted)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: invariant violation: %s", seed, v)
+		}
+		if res.Injections == 0 {
+			t.Errorf("seed %d: chaos injected nothing at 30%% intensity", seed)
+		}
+	}
+}
+
+// TestChaosNoFaultDeterministic pins the zero-intensity path: two runs of
+// the same seed with chaos disabled must agree exactly, confirming the
+// chaos/recovery machinery draws nothing when idle.
+func TestChaosNoFaultDeterministic(t *testing.T) {
+	run := func() ChaosResult {
+		r, err := RunChaos(ChaosSpec{Seed: 42, Jobs: 60, Horizon: sim.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Failed != b.Failed || a.P99LatencyS != b.P99LatencyS {
+		t.Fatalf("fixed-seed no-fault runs diverged: %+v vs %+v", a, b)
+	}
+	if a.Injections != 0 {
+		t.Fatalf("zero intensity injected %d faults", a.Injections)
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("violations in a fault-free run: %v", a.Violations)
+	}
+}
+
+// TestChaosRecoveryOutcompletesBaseline is the benchmark claim in test
+// form: at 15% fault intensity the self-healing policy must complete at
+// least 95% of jobs and strictly beat the no-recovery baseline.
+func TestChaosRecoveryOutcompletesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full chaos cells")
+	}
+	spec := ChaosSpec{Seed: 2, Jobs: 300, Horizon: 3 * sim.Hour, Intensity: 0.15}
+	base, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Recovery = true
+	healed, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.CompletionRate < 0.95 {
+		t.Errorf("recovery completion rate %.1f%% < 95%%", healed.CompletionRate*100)
+	}
+	if healed.CompletionRate <= base.CompletionRate {
+		t.Errorf("recovery (%.1f%%) did not beat baseline (%.1f%%)",
+			healed.CompletionRate*100, base.CompletionRate*100)
+	}
+	for _, v := range healed.Violations {
+		t.Errorf("invariant violation with recovery on: %s", v)
+	}
+	for _, v := range base.Violations {
+		t.Errorf("invariant violation with recovery off: %s", v)
+	}
+}

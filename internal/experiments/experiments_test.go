@@ -11,7 +11,7 @@ var quickOpts = Options{Seed: 42, Quick: true, Replicas: 2}
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E10", "E11", "E12", "E13", "E13a", "E14", "E15",
-		"E2", "E2a", "E3", "E3a", "E4", "E5", "E6", "E7", "E8", "E9", "E9a"}
+		"E16", "E2", "E2a", "E3", "E3a", "E4", "E5", "E6", "E7", "E8", "E9", "E9a"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d experiments, want %d: %v", len(got), len(want), got)

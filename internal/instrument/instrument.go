@@ -164,6 +164,10 @@ type Instrument struct {
 	queue []job
 	// overrides holds operator IDs allowed to bypass the interlock.
 	overrides map[string]bool
+	// forcedDownUntil pins the instrument in StateDown through an injected
+	// outage window: internal state transitions (action completion, natural
+	// repair, recalibration) that would normally resume service defer to it.
+	forcedDownUntil sim.Time
 
 	completed int
 	failures  int
@@ -314,9 +318,8 @@ func (in *Instrument) run(j job) {
 				Err: fmt.Errorf("%w: %s", ErrFailed, j.cmd.Action),
 			})
 			in.eng.Schedule(in.cfg.RepairTime, func() {
-				in.state = StateIdle
 				in.metrics.Counter("instrument.repairs").Inc()
-				in.pump()
+				in.resume()
 			})
 		})
 		return
@@ -342,8 +345,7 @@ func (in *Instrument) run(j job) {
 			in.recalibrate()
 			return
 		}
-		in.state = StateIdle
-		in.pump()
+		in.resume()
 	})
 }
 
@@ -374,9 +376,20 @@ func (in *Instrument) recalibrate() {
 	in.eng.Schedule(in.cfg.CalibrationTime, func() {
 		in.bias = 0
 		in.calCount++
-		in.state = StateIdle
-		in.pump()
+		in.resume()
 	})
+}
+
+// resume returns the instrument to service after an action, repair, or
+// recalibration — unless a forced outage window is still open, in which case
+// the instrument stays down until the window's restore event runs.
+func (in *Instrument) resume() {
+	if in.eng.Now() < in.forcedDownUntil {
+		in.state = StateDown
+		return
+	}
+	in.state = StateIdle
+	in.pump()
 }
 
 // ForceFailure drives the instrument down immediately (fault injection for
@@ -387,10 +400,54 @@ func (in *Instrument) ForceFailure() {
 	}
 	in.state = StateDown
 	in.eng.Schedule(in.cfg.RepairTime, func() {
-		in.state = StateIdle
-		in.pump()
+		in.resume()
 	})
 }
+
+// ForceDown takes the instrument out of service for exactly d (chaos site
+// outages). Unlike ForceFailure, the window is pinned: an action completing
+// or a natural repair firing mid-window cannot resume service early. Queued
+// jobs are retained and pump when the window closes. Overlapping windows
+// extend to the latest end.
+func (in *Instrument) ForceDown(d sim.Time) {
+	until := in.eng.Now() + d
+	if until <= in.forcedDownUntil {
+		return
+	}
+	in.forcedDownUntil = until
+	in.state = StateDown
+	in.eng.Schedule(d, func() {
+		if in.eng.Now() < in.forcedDownUntil {
+			return // a later window superseded this one
+		}
+		if in.state == StateDown {
+			in.state = StateIdle
+			in.pump()
+		}
+	})
+}
+
+// SetFailureProb retunes the per-action failure probability mid-run (chaos
+// degradation ramps). Returns the previous value so injectors can restore it.
+func (in *Instrument) SetFailureProb(p float64) float64 {
+	prev := in.cfg.FailureProb
+	in.cfg.FailureProb = p
+	return prev
+}
+
+// SetDriftPerAction retunes the calibration random-walk step mid-run.
+// Returns the previous value.
+func (in *Instrument) SetDriftPerAction(d float64) float64 {
+	prev := in.cfg.DriftPerAction
+	in.cfg.DriftPerAction = d
+	return prev
+}
+
+// FailureProb reports the current per-action failure probability.
+func (in *Instrument) FailureProb() float64 { return in.cfg.FailureProb }
+
+// DriftPerAction reports the current calibration random-walk step.
+func (in *Instrument) DriftPerAction() float64 { return in.cfg.DriftPerAction }
 
 func abs(v float64) float64 {
 	if v < 0 {

@@ -312,3 +312,77 @@ func TestStateString(t *testing.T) {
 		t.Fatal("state names wrong")
 	}
 }
+
+func TestForceDownWindowAndResume(t *testing.T) {
+	eng := sim.NewEngine()
+	in := New(eng, rng.New(8), Config{
+		Descriptor: Descriptor{
+			ID: "x", Actions: []ActionSpec{{Name: "a", Space: param.Space{}, Duration: sim.Minute}},
+		},
+	})
+	got := false
+	in.ForceDown(2 * sim.Hour)
+	if in.State() != StateDown {
+		t.Fatalf("state = %v after ForceDown, want down", in.State())
+	}
+	// Work queued during the outage waits it out rather than being lost.
+	in.Submit(Command{Action: "a", Params: param.Point{}}, func(r Result) { got = r.Err == nil })
+	if err := eng.RunUntil(sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if in.State() != StateDown {
+		t.Fatalf("state = %v mid-window, want down", in.State())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.State() != StateIdle {
+		t.Fatalf("state = %v after window, want idle", in.State())
+	}
+	if !got {
+		t.Fatal("queued command did not run once the outage lifted")
+	}
+}
+
+func TestForceDownExtendsActiveRepair(t *testing.T) {
+	eng := sim.NewEngine()
+	in := New(eng, rng.New(9), Config{
+		Descriptor: Descriptor{
+			ID: "x", Actions: []ActionSpec{{Name: "a", Space: param.Space{}, Duration: sim.Minute}},
+		},
+		RepairTime: 30 * sim.Minute,
+	})
+	in.ForceFailure() // natural repair due at 30m
+	in.ForceDown(2 * sim.Hour)
+	if err := eng.RunUntil(sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if in.State() != StateDown {
+		t.Fatalf("state = %v at 1h, want down (forced window outlasts repair)", in.State())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.State() != StateIdle {
+		t.Fatalf("state = %v at end, want idle", in.State())
+	}
+}
+
+func TestFaultSettersRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	in := New(eng, rng.New(10), Config{
+		Descriptor: Descriptor{
+			ID: "x", Actions: []ActionSpec{{Name: "a", Space: param.Space{}, Duration: sim.Minute}},
+		},
+		FailureProb:    0.01,
+		DriftPerAction: 0.002,
+	})
+	if in.FailureProb() != 0.01 || in.DriftPerAction() != 0.002 {
+		t.Fatalf("getters: prob=%v drift=%v", in.FailureProb(), in.DriftPerAction())
+	}
+	in.SetFailureProb(0.5)
+	in.SetDriftPerAction(0.04)
+	if in.FailureProb() != 0.5 || in.DriftPerAction() != 0.04 {
+		t.Fatalf("setters did not stick: prob=%v drift=%v", in.FailureProb(), in.DriftPerAction())
+	}
+}

@@ -77,12 +77,27 @@ type Insight struct {
 	Trace trace.Context
 }
 
+// SanityBound is the per-domain vetting contract for incoming insights: a
+// remote observation outside the domain's parameter space or value range is
+// quarantined instead of merged, which is what contains a byzantine site
+// publishing fabricated results. The zero bound accepts everything.
+type SanityBound struct {
+	// Space, when non-nil, validates observation points: an observation
+	// whose point fails Space.Validate is quarantined.
+	Space param.Space
+	// Min/Max bound observation values when Max > Min.
+	Min, Max float64
+}
+
 // Base is one site's knowledge store.
 type Base struct {
 	site     netsim.SiteID
 	fed      *Federation
 	insights map[string]*Insight
 	clock    VectorClock
+	// quarantined holds vetting rejects by key, kept out of insights so
+	// Observations (the optimizer seed) and HasObservation never see them.
+	quarantined map[string]*Insight
 }
 
 // Federation wires per-site bases together over the bus.
@@ -97,6 +112,16 @@ type Federation struct {
 	// AckTimeout/MaxAttempts govern at-least-once propagation.
 	AckTimeout  sim.Time
 	MaxAttempts int
+
+	// Bounds maps domain -> sanity bound; incoming insights for a bounded
+	// domain that fail the bound are quarantined instead of merged. Domains
+	// without an entry merge unvetted (the pre-chaos behaviour).
+	Bounds map[string]SanityBound
+	// Trusted, when set, vets the claimed source of every incoming insight
+	// at the receiving site; a false verdict quarantines the insight with
+	// reason "untrusted-source". Typically backed by security.Federation
+	// trust state.
+	Trusted func(at, source netsim.SiteID) bool
 }
 
 // NewFederation creates bases at the given sites, wired for sharing.
@@ -120,6 +145,10 @@ func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Fede
 			fabric.Subscribe(bus.Address{Site: s, Name: "knowledge"}, "knowledge",
 				bus.AtLeastOnce, func(env *bus.Envelope) {
 					if ins, ok := env.Payload.(*Insight); ok {
+						if reason := f.vet(b.site, ins); reason != "" {
+							b.quarantine(ins, reason)
+							return
+						}
 						if ins.Trace.Enabled() {
 							// One sync span per receiving site: publish
 							// instant -> merge instant, covering the WAN
@@ -135,6 +164,59 @@ func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Fede
 		}
 	}
 	return f
+}
+
+// vet inspects an incoming insight before merge and returns the quarantine
+// reason, or "" to admit it. Vetting is receiver-side: each site defends its
+// own base, so a byzantine site poisons only itself.
+func (f *Federation) vet(at netsim.SiteID, ins *Insight) string {
+	if f.Trusted != nil && !f.Trusted(at, ins.Source) {
+		return "untrusted-source"
+	}
+	sb, ok := f.Bounds[ins.Domain]
+	if !ok || ins.Kind != KindObservation {
+		return ""
+	}
+	if sb.Space != nil && sb.Space.Validate(ins.Point) != nil {
+		return "out-of-space"
+	}
+	if sb.Max > sb.Min && (ins.Value < sb.Min || ins.Value > sb.Max) {
+		return "out-of-bounds"
+	}
+	return ""
+}
+
+// quarantine records a rejected insight outside the merged store. The
+// receiving clock does NOT advance: a quarantined insight is causally
+// invisible, exactly as if the message were dropped on the wire.
+func (b *Base) quarantine(ins *Insight, reason string) {
+	if b.quarantined == nil {
+		b.quarantined = make(map[string]*Insight)
+	}
+	c := *ins
+	b.quarantined[ins.Key] = &c
+	b.fed.metrics.Counter(telemetry.Key("knowledge.quarantined",
+		"site", string(ins.Source))).Inc()
+	if ins.Trace.Enabled() {
+		sp, cc := ins.Trace.Start(ins.At, string(b.site), trace.KindQuarantine, string(ins.Kind))
+		sp.SetStr("from", string(ins.Source))
+		sp.SetStr("reason", reason)
+		cc.Finish(&sp, b.fed.eng.Now())
+	}
+}
+
+// Quarantined returns this base's vetting rejects, sorted by key.
+func (b *Base) Quarantined() []Insight {
+	keys := make([]string, 0, len(b.quarantined))
+	for k := range b.quarantined {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Insight, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *b.quarantined[k])
+	}
+	return out
 }
 
 // Metrics exposes federation telemetry.

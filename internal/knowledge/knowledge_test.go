@@ -8,6 +8,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/param"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sim"
+	"github.com/aisle-sim/aisle/internal/telemetry"
 )
 
 var sites = []netsim.SiteID{"ornl", "anl", "slac"}
@@ -176,5 +177,102 @@ func TestGetAndNotes(t *testing.T) {
 	}
 	if _, ok := fed.Base("anl").Get("nonexistent"); ok {
 		t.Fatal("phantom insight")
+	}
+}
+
+func TestQuarantineOutOfBoundsObservation(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	fed.Bounds = map[string]SanityBound{"perovskite": {Min: 0, Max: 1}}
+	fed.Base("ornl").AddObservation("perovskite", pt(150), 5.0) // impossible PLQY
+	fed.Base("ornl").AddObservation("perovskite", pt(120), 0.4) // fine
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Vetting is receiver-side: the origin keeps its own poison, the peers
+	// quarantine it and never expose it to optimizers.
+	for _, s := range []netsim.SiteID{"anl", "slac"} {
+		if _, ok := fed.Base(s).HasObservation("perovskite", pt(150)); ok {
+			t.Fatalf("%s merged an out-of-bounds observation", s)
+		}
+		if _, ok := fed.Base(s).HasObservation("perovskite", pt(120)); !ok {
+			t.Fatalf("%s rejected a sane observation", s)
+		}
+		q := fed.Base(s).Quarantined()
+		if len(q) != 1 || q[0].Value != 5.0 {
+			t.Fatalf("%s quarantine = %+v, want the single bad insight", s, q)
+		}
+		_, values := fed.Base(s).Observations("perovskite")
+		for _, v := range values {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s Observations leaks quarantined value %v", s, v)
+			}
+		}
+	}
+	// Publish fans out to every subscriber including the origin's loopback,
+	// so three bases vet the bad insight: anl, slac, and ornl itself.
+	if got := fed.Metrics().Counter(telemetry.Key("knowledge.quarantined",
+		"site", "ornl")).Value(); got != 3 {
+		t.Fatalf("knowledge.quarantined{site=ornl} = %d, want 3 (one per subscriber)", got)
+	}
+}
+
+func TestQuarantineOutOfSpacePoint(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	space := param.Space{
+		{Name: "temperature", Lo: 60, Hi: 220},
+		{Name: "ratio", Lo: 0, Hi: 1},
+	}
+	fed.Bounds = map[string]SanityBound{"perovskite": {Space: space}}
+	fed.Base("ornl").AddObservation("perovskite", pt(500), 0.3) // off the envelope
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fed.Base("anl").HasObservation("perovskite", pt(500)); ok {
+		t.Fatal("out-of-space point was merged")
+	}
+	if q := fed.Base("anl").Quarantined(); len(q) != 1 {
+		t.Fatalf("quarantine holds %d insights, want 1", len(q))
+	}
+}
+
+func TestQuarantineUntrustedSource(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	fed.Trusted = func(at, source netsim.SiteID) bool { return source != "slac" }
+	fed.Base("slac").AddObservation("perovskite", pt(150), 0.9)
+	fed.Base("ornl").AddObservation("perovskite", pt(120), 0.8)
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fed.Base("ornl").HasObservation("perovskite", pt(150)); ok {
+		t.Fatal("insight from an untrusted principal was merged")
+	}
+	if _, ok := fed.Base("slac").HasObservation("perovskite", pt(120)); !ok {
+		t.Fatal("trusted traffic should still flow to the distrusted site")
+	}
+	if q := fed.Base("anl").Quarantined(); len(q) != 1 || q[0].Source != "slac" {
+		t.Fatalf("anl quarantine = %+v, want slac's insight", q)
+	}
+}
+
+func TestQuarantineDoesNotAdvanceClock(t *testing.T) {
+	eng, _, fed := testFed(t, true)
+	fed.Bounds = map[string]SanityBound{"perovskite": {Min: 0, Max: 1}}
+	fed.Base("ornl").AddObservation("perovskite", pt(150), 7.0)
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A quarantined insight must be causally invisible: subsequent good
+	// traffic converges exactly as if the poison never existed.
+	fed.Base("ornl").AddObservation("perovskite", pt(130), 0.6)
+	if err := eng.RunUntil(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		if _, ok := fed.Base(s).HasObservation("perovskite", pt(130)); !ok {
+			t.Fatalf("good observation missing at %s after a quarantine event", s)
+		}
+	}
+	if fed.Base("anl").Size() != fed.Base("slac").Size() {
+		t.Fatal("honest sites diverged")
 	}
 }

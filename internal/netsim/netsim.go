@@ -108,6 +108,17 @@ type Network struct {
 	sites   map[SiteID]*Site
 	links   map[linkKey]*Link
 	metrics *telemetry.Registry
+
+	// DropInFlight re-checks the link at the arrival instant: a message
+	// accepted while the link was up is dropped if the link went down while
+	// it was in flight. Off by default — the base model commits delivery at
+	// send time — and enabled by chaos runs, where partitions must cut
+	// traffic already on the wire.
+	DropInFlight bool
+	// DeliverHook, when set, observes every message at the instant it is
+	// delivered (after the DropInFlight check). Chaos invariant checkers use
+	// it to independently assert that no message crosses a down link.
+	DeliverHook func(Message)
 }
 
 // New returns an empty network bound to the engine and random stream.
@@ -234,7 +245,7 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 	// Loopback: LAN latency only, no firewall (intra-site traffic).
 	if msg.From == msg.To {
 		n.recordHop(&msg, dst.LANLatency)
-		n.eng.Schedule(dst.LANLatency, func() { deliver(msg) })
+		n.eng.Schedule(dst.LANLatency, func() { n.arrive(msg, deliver) })
 		n.metrics.Counter("net.delivered").Inc()
 		return nil
 	}
@@ -263,9 +274,25 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 	delay := n.transferDelay(link, dir, msg.Size)
 	n.metrics.Histogram("net.delay_s").Observe(delay.Seconds())
 	n.recordHop(&msg, delay)
-	n.eng.Schedule(delay, func() { deliver(msg) })
+	n.eng.Schedule(delay, func() { n.arrive(msg, deliver) })
 	n.metrics.Counter("net.delivered").Inc()
 	return nil
+}
+
+// arrive completes one delivery: under DropInFlight a cross-site message
+// whose link dropped while it was on the wire is discarded, and the
+// DeliverHook (if any) observes whatever actually lands.
+func (n *Network) arrive(msg Message, deliver func(Message)) {
+	if n.DropInFlight && msg.From != msg.To {
+		if l := n.LinkBetween(msg.From, msg.To); l == nil || !l.up {
+			n.metrics.Counter("net.inflight_drops").Inc()
+			return
+		}
+	}
+	if n.DeliverHook != nil {
+		n.DeliverHook(msg)
+	}
+	deliver(msg)
 }
 
 // recordHop records one admitted hop as a net.deliver span under the

@@ -38,6 +38,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/discovery"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
 	"github.com/aisle-sim/aisle/internal/trace"
@@ -106,6 +107,13 @@ type Job struct {
 	Cmd     instrument.Command
 	// Timeout bounds the instrument RPC (queueing + action). Default 48h.
 	Timeout sim.Time
+	// MaxRetries bounds automatic retry of failed dispatches: a job whose
+	// RPC fails (instrument fault, link loss, timeout) is re-queued with
+	// exponential backoff + jitter up to MaxRetries times before the
+	// failure surfaces to the callback. 0 (the default) keeps the original
+	// fail-on-first-error behaviour. Retries spend the same Timeout budget
+	// as the first attempt, so a terminal outcome is still guaranteed.
+	MaxRetries int
 	// Trace is the causal context this job runs under (typically the
 	// submitting experiment's). The zero value disables tracing for the job.
 	Trace trace.Context
@@ -130,6 +138,19 @@ type Options struct {
 	// DefaultEstimate is the assumed action duration for instruments that
 	// do not advertise throughput_per_hr. Default 10 minutes.
 	DefaultEstimate sim.Time
+	// RetryBase is the first retry backoff; each further attempt doubles it
+	// (plus up to 50% deterministic jitter off the scheduler's seeded
+	// stream). Default 30 seconds.
+	RetryBase sim.Time
+	// RetryMax caps the exponential backoff. Default 16 minutes.
+	RetryMax sim.Time
+	// Recover enables the in-flight recovery sweep: each RepumpInterval,
+	// jobs dispatched to an instrument that has gone down or a site that
+	// has partitioned away from their origin are pulled back into the queue
+	// and rerouted (the eventual reply from the dead dispatch, if any, is
+	// discarded). Off by default — recovery means a rescued job can execute
+	// more than once on the fleet, which callers must opt into.
+	Recover bool
 }
 
 func (o *Options) defaults() {
@@ -147,6 +168,12 @@ func (o *Options) defaults() {
 	}
 	if o.DefaultEstimate == 0 {
 		o.DefaultEstimate = 10 * sim.Minute
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 30 * sim.Second
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 16 * sim.Minute
 	}
 }
 
@@ -170,6 +197,21 @@ type queuedJob struct {
 	cb       func(instrument.Result, error)
 	enqueued sim.Time
 	canceled bool
+
+	// attempt counts failed dispatches consumed from the MaxRetries budget;
+	// reroutes counts recovery-sweep rescues (unbounded — the Timeout is
+	// the bound). notBefore holds the job in queue through its backoff.
+	attempt   int
+	reroutes  int
+	notBefore sim.Time
+	// epoch invalidates the outstanding dispatch's completion callback when
+	// the recovery sweep rescues the job: the callback captures the epoch at
+	// dispatch and a stale reply (the RPC of a rescued job eventually timing
+	// out or even succeeding) is dropped instead of double-completing.
+	epoch uint64
+	// inst/host identify the outstanding dispatch for the recovery sweep.
+	inst string
+	host netsim.SiteID
 
 	// Trace spans live here — already-heap state — so the traced path adds
 	// no allocations beyond the queuedJob itself. qspan covers enqueue ->
@@ -221,12 +263,16 @@ type Scheduler struct {
 	net     *netsim.Network
 	fab     *bus.Fabric
 	metrics *telemetry.Registry
+	rnd     *rng.Stream
 	opts    Options
 
 	sites    map[netsim.SiteID]*siteSched
 	order    []netsim.SiteID
 	inflight map[string]int // dispatched-but-incomplete per instrument instance
 	transit  []*queuedJob   // stolen jobs riding the WAN between site queues
+	// flights tracks dispatched jobs in dispatch order for the recovery
+	// sweep; only populated under Options.Recover.
+	flights []*queuedJob
 
 	queued int
 	flying int
@@ -237,16 +283,21 @@ type Scheduler struct {
 
 // New builds a scheduler on the engine, network, and bus fabric, reporting
 // into the given telemetry registry. Gauges are registered eagerly so the
-// metric surface is visible before traffic flows.
+// metric surface is visible before traffic flows. The stream feeds retry
+// backoff jitter only — a run with no failures draws nothing from it.
 func New(eng *sim.Engine, net *netsim.Network, fab *bus.Fabric,
-	metrics *telemetry.Registry, opts Options) *Scheduler {
+	metrics *telemetry.Registry, rnd *rng.Stream, opts Options) *Scheduler {
 
 	opts.defaults()
+	if rnd == nil {
+		rnd = rng.New(0)
+	}
 	s := &Scheduler{
 		eng:      eng,
 		net:      net,
 		fab:      fab,
 		metrics:  metrics,
+		rnd:      rnd,
 		opts:     opts,
 		sites:    make(map[netsim.SiteID]*siteSched),
 		inflight: make(map[string]int),
@@ -280,6 +331,9 @@ func (s *Scheduler) Start() {
 		return
 	}
 	s.stopTicker = s.eng.Ticker(s.opts.RepumpInterval, func(int) {
+		if s.opts.Recover {
+			s.recoverInFlight()
+		}
 		if s.queued == 0 {
 			return
 		}
@@ -591,9 +645,22 @@ func (s *Scheduler) unTransit(batch []*queuedJob) {
 }
 
 // tryDispatch routes and dispatches the tenant's head job, reporting
-// whether it went out.
+// whether it went out. A job already past its Timeout fails fast with
+// ErrExpired instead of being shipped to an instrument with a dead RPC
+// budget; a job still inside its retry backoff blocks its tenant for this
+// pump.
 func (s *Scheduler) tryDispatch(ss *siteSched, t *tenantQ) bool {
 	qj := t.jobs[0]
+	now := s.eng.Now()
+	if qj.notBefore > now {
+		return false
+	}
+	if now-qj.enqueued >= qj.job.Timeout {
+		t.jobs = t.jobs[1:]
+		s.queued--
+		s.failExpired(qj, now)
+		return true
+	}
 	rec, ok := s.route(ss, qj.job)
 	if !ok {
 		return false
@@ -602,6 +669,21 @@ func (s *Scheduler) tryDispatch(ss *siteSched, t *tenantQ) bool {
 	s.queued--
 	s.dispatch(ss, t, qj, rec)
 	return true
+}
+
+// failExpired delivers the terminal ErrExpired outcome for a job that
+// outlived its Timeout in queue. The callback runs on a fresh event so
+// resubmissions never recurse into the pump that found the expiry.
+func (s *Scheduler) failExpired(qj *queuedJob, now sim.Time) {
+	s.metrics.Counter("sched.expired").Inc()
+	qj.qspan.SetStr("outcome", "expired")
+	qj.qctx.Finish(&qj.qspan, now)
+	queued := now - qj.enqueued
+	kind := qj.job.Kind
+	s.eng.Schedule(0, func() {
+		qj.cb(instrument.Result{}, fmt.Errorf("%w: kind %s queued %v",
+			ErrExpired, kind, queued))
+	})
 }
 
 // estimate is the expected action duration on the instrument behind rec,
@@ -698,6 +780,12 @@ func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec disco
 	inst := rec.Instance
 	s.inflight[inst]++
 	s.flying++
+	qj.inst = inst
+	qj.host = rec.Addr.Site
+	epoch := qj.epoch
+	if s.opts.Recover {
+		s.flights = append(s.flights, qj)
+	}
 	wait := s.eng.Now() - qj.enqueued
 	s.metrics.Histogram("sched.wait_s").Observe(wait.Seconds())
 	if t.waitHist != nil {
@@ -747,10 +835,19 @@ func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec disco
 		Timeout: remaining,
 		Trace:   qj.dctx,
 	}, func(result any, err error) {
-		s.inflight[inst]--
-		s.flying--
+		if qj.epoch != epoch {
+			// The recovery sweep rescued this job while the RPC was
+			// outstanding; the job's outcome now belongs to a later
+			// dispatch. Accounting was settled at rescue time.
+			s.metrics.Counter("sched.stale_replies").Inc()
+			return
+		}
+		s.endFlight(qj)
 		qj.dctx.Finish(&qj.dspan, s.eng.Now())
-		if err != nil {
+		if err != nil && qj.attempt < qj.job.MaxRetries {
+			s.metrics.Counter("sched.failures").Inc()
+			s.retry(qj, err)
+		} else if err != nil {
 			s.metrics.Counter("sched.failures").Inc()
 			qj.cb(instrument.Result{}, err)
 		} else if res, ok := result.(instrument.Result); ok {
@@ -770,6 +867,130 @@ func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec disco
 		}
 		s.gauges()
 	})
+}
+
+// endFlight settles in-flight accounting for a dispatch reaching its
+// outcome (completion, failure, or rescue).
+func (s *Scheduler) endFlight(qj *queuedJob) {
+	s.inflight[qj.inst]--
+	s.flying--
+	if s.opts.Recover {
+		for i, o := range s.flights {
+			if o == qj {
+				s.flights = append(s.flights[:i], s.flights[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// retry consumes one unit of the job's MaxRetries budget and re-queues it
+// with exponential backoff + jitter. The backoff draw comes from the
+// scheduler's seeded stream, so retry timing is deterministic — and a run
+// with no failures never touches the stream.
+func (s *Scheduler) retry(qj *queuedJob, cause error) {
+	qj.attempt++
+	s.metrics.Counter(telemetry.Key("sched.retries",
+		"site", string(qj.job.Origin), "tenant", qj.job.Tenant)).Inc()
+	backoff := s.opts.RetryBase << uint(qj.attempt-1)
+	if backoff > s.opts.RetryMax || backoff <= 0 {
+		backoff = s.opts.RetryMax
+	}
+	backoff = sim.Time(float64(backoff) * (1 + 0.5*s.rnd.Float64()))
+	s.requeue(qj, "failure", trace.KindSchedRetry, backoff)
+}
+
+// recoverInFlight rescues dispatched jobs whose host instrument is down or
+// whose host site is no longer reachable from the job's origin: each is
+// pulled back into its origin queue (the outstanding RPC's eventual reply
+// is invalidated via the epoch) and rerouted on the next pump — which
+// excludes down and unreachable hosts. Rescues do not consume the retry
+// budget; the job's Timeout bounds how long rerouting can go on.
+func (s *Scheduler) recoverInFlight() {
+	if len(s.flights) == 0 {
+		return
+	}
+	var rescued []*queuedJob
+	keep := s.flights[:0]
+	for _, qj := range s.flights {
+		if s.flightLost(qj) {
+			rescued = append(rescued, qj)
+			continue
+		}
+		keep = append(keep, qj)
+	}
+	s.flights = keep
+	for _, qj := range rescued {
+		qj.epoch++
+		s.inflight[qj.inst]--
+		s.flying--
+		qj.dspan.SetStr("outcome", "rescued")
+		qj.dctx.Finish(&qj.dspan, s.eng.Now())
+		qj.reroutes++
+		reason := "site-down"
+		if !s.net.Reachable(qj.job.Origin, qj.host, "bus") {
+			reason = "unreachable"
+		}
+		s.requeue(qj, reason, trace.KindSchedRequeue, 0)
+	}
+	if len(rescued) > 0 {
+		s.pumpAll()
+	}
+}
+
+// flightLost reports whether an outstanding dispatch can no longer
+// complete usefully: its instrument is down, or its host site has
+// partitioned away from the job's origin.
+func (s *Scheduler) flightLost(qj *queuedJob) bool {
+	if !s.net.Reachable(qj.job.Origin, qj.host, "bus") {
+		return true
+	}
+	host := s.sites[qj.host]
+	if host == nil {
+		return false
+	}
+	id := qj.inst
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[i+1:]
+	}
+	in, _ := host.bind.Fleet.Get(id)
+	return in != nil && in.State() == instrument.StateDown
+}
+
+// requeue returns a job to its origin site's tenant queue after a failed
+// dispatch or a rescue. If the tenant has been released meanwhile, the job
+// terminates with ErrCanceled instead of resurrecting the tenant.
+func (s *Scheduler) requeue(qj *queuedJob, reason, kind string, backoff sim.Time) {
+	now := s.eng.Now()
+	s.metrics.Counter(telemetry.Key("sched.requeues", "reason", reason)).Inc()
+	ss := s.sites[qj.job.Origin]
+	var t *tenantQ
+	if ss != nil {
+		t = ss.tenants[qj.job.Tenant]
+	}
+	if t == nil {
+		s.metrics.Counter("sched.canceled").Inc()
+		s.eng.Schedule(0, func() {
+			qj.cb(instrument.Result{}, fmt.Errorf("%w: tenant %s released",
+				ErrCanceled, qj.job.Tenant))
+		})
+		return
+	}
+	qj.notBefore = now + backoff
+	if qj.job.Trace.Enabled() {
+		// A fresh queue-wait span, finished by the next dispatch (or
+		// expiry), with the recovery kind marking why the job is back.
+		qj.qspan, qj.qctx = qj.job.Trace.Start(now, string(qj.job.Origin), kind, qj.job.Kind)
+		qj.qspan.SetStr("reason", reason)
+		qj.qspan.SetAttr("attempt", float64(qj.attempt+qj.reroutes))
+	}
+	t.jobs = append(t.jobs, qj)
+	s.queued++
+	if backoff > 0 {
+		s.eng.Schedule(backoff, func() { s.schedulePump() })
+	} else {
+		s.schedulePump()
+	}
 }
 
 // localSpare reports whether the site hosts an instrument that could

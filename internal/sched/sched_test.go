@@ -44,7 +44,7 @@ func newTestbed(t *testing.T, sites []netsim.SiteID, opts Options) *testbed {
 	dir := discovery.NewDirectory(fab, sites)
 	tb := &testbed{
 		eng: eng, rnd: rnd, net: net, fab: fab, dir: dir,
-		s:      New(eng, net, fab, telemetry.NewRegistry(), opts),
+		s:      New(eng, net, fab, telemetry.NewRegistry(), rnd.Fork("sched"), opts),
 		fleets: make(map[netsim.SiteID]*instrument.Fleet),
 	}
 	for _, id := range sites {
@@ -493,5 +493,192 @@ func TestMinCapsFilterRouting(t *testing.T) {
 	}
 	if tb.s.QueueDepth() != 1 {
 		t.Fatalf("queue depth = %d, want the unroutable job parked", tb.s.QueueDepth())
+	}
+}
+
+// addBatchReactor installs a slow (30-minute action) synthesis robot, for
+// tests that need work to stay in flight across recovery sweeps.
+func (tb *testbed) addBatchReactor(site netsim.SiteID, id string) *instrument.Instrument {
+	in := instrument.NewBatchReactor(tb.eng, tb.rnd, id, string(site), twin.Perovskite{})
+	d := in.Descriptor()
+	tb.fleets[site].Add(in)
+	endpoint := "instr/" + d.ID
+	tb.fab.Broker(site).Register(endpoint, func(env *bus.Envelope, respond func(any, error)) {
+		in.Submit(env.Payload.(instrument.Command), func(res instrument.Result) {
+			respond(res, res.Err)
+		})
+	})
+	tb.dir.Registry(site).Register(discovery.Record{
+		Instance:     string(site) + "/" + d.ID,
+		Type:         d.Kind,
+		Addr:         bus.Address{Site: site, Name: endpoint},
+		Capabilities: d.Capabilities,
+	})
+	return in
+}
+
+func TestRetryRecoversFromInstrumentFailure(t *testing.T) {
+	tb := newTestbed(t, []netsim.SiteID{"a"}, Options{})
+	in := tb.addReactor("a", "flow-1")
+	tb.converge()
+
+	// First attempt is guaranteed to fail; the instrument then repairs and
+	// the retry must land without the caller seeing the failure.
+	in.SetFailureProb(1)
+	var calls int
+	var lastErr error
+	tb.s.Submit(Job{Tenant: "t", Origin: "a", Kind: instrument.KindFlowReactor,
+		Cmd: validCmd("s-1"), MaxRetries: 2}, func(res instrument.Result, err error) {
+		calls++
+		lastErr = err
+	})
+	tb.runFor(time30m())
+	in.SetFailureProb(0)
+	tb.runFor(2 * sim.Hour)
+
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1", calls)
+	}
+	if lastErr != nil {
+		t.Fatalf("job should have succeeded on retry, got %v", lastErr)
+	}
+	if got := tb.s.metrics.Counter(telemetry.Key("sched.retries", "site", "a", "tenant", "t")).Value(); got < 1 {
+		t.Fatalf("sched.retries{site=a,tenant=t} = %d, want >= 1", got)
+	}
+	if got := tb.s.metrics.Counter(telemetry.Key("sched.requeues", "reason", "failure")).Value(); got < 1 {
+		t.Fatalf("sched.requeues{reason=failure} = %d, want >= 1", got)
+	}
+}
+
+func TestRetryBudgetExhaustedSurfacesTerminalError(t *testing.T) {
+	tb := newTestbed(t, []netsim.SiteID{"a"}, Options{})
+	in := tb.addReactor("a", "flow-1")
+	tb.converge()
+
+	in.SetFailureProb(1) // every attempt fails
+	var calls int
+	var lastErr error
+	tb.s.Submit(Job{Tenant: "t", Origin: "a", Kind: instrument.KindFlowReactor,
+		Cmd: validCmd("s-1"), MaxRetries: 1}, func(res instrument.Result, err error) {
+		calls++
+		lastErr = err
+	})
+	tb.runFor(3 * sim.Hour)
+
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1", calls)
+	}
+	if lastErr == nil {
+		t.Fatal("exhausted retry budget must surface the failure")
+	}
+}
+
+func TestRecoverReroutesFromDownInstrument(t *testing.T) {
+	tb := newTestbed(t, []netsim.SiteID{"a", "b"}, Options{Recover: true})
+	inA := tb.addBatchReactor("a", "batch-a")
+	tb.addBatchReactor("b", "batch-b")
+	tb.converge()
+
+	var calls int
+	var lastErr error
+	tb.s.Submit(Job{Tenant: "t", Origin: "a", Kind: instrument.KindSynthesis,
+		Cmd: validCmd("s-1")}, func(res instrument.Result, err error) {
+		calls++
+		lastErr = err
+	})
+	tb.runFor(2 * sim.Minute) // dispatched to a (local preferred), mid-action
+	if tb.s.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", tb.s.InFlight())
+	}
+	inA.ForceDown(6 * sim.Hour)
+	tb.runFor(4 * sim.Hour)
+
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1", calls)
+	}
+	if lastErr != nil {
+		t.Fatalf("rescued job should complete at the peer site, got %v", lastErr)
+	}
+	if got := tb.s.metrics.Counter(telemetry.Key("sched.requeues", "reason", "site-down")).Value(); got != 1 {
+		t.Fatalf("sched.requeues{reason=site-down} = %d, want 1", got)
+	}
+	// The doomed first dispatch still runs to completion on the device; its
+	// late reply must be discarded by the epoch guard, not double-complete.
+	if got := tb.s.metrics.Counter("sched.stale_replies").Value(); got != 1 {
+		t.Fatalf("sched.stale_replies = %d, want 1", got)
+	}
+}
+
+func TestRecoverReroutesFromPartitionedSite(t *testing.T) {
+	tb := newTestbed(t, []netsim.SiteID{"a", "b"}, Options{Recover: true})
+	tb.addBatchReactor("b", "batch-b") // only b can run the job
+	tb.converge()
+
+	var calls int
+	var lastErr error
+	tb.s.Submit(Job{Tenant: "t", Origin: "a", Kind: instrument.KindSynthesis,
+		Cmd: validCmd("s-1")}, func(res instrument.Result, err error) {
+		calls++
+		lastErr = err
+	})
+	tb.runFor(2 * sim.Minute) // dispatched across the WAN to b
+	if tb.s.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", tb.s.InFlight())
+	}
+	tb.net.SetLinkUp("a", "b", false)
+	tb.runFor(10 * sim.Minute) // sweep rescues; job unroutable while dark
+	if got := tb.s.metrics.Counter(telemetry.Key("sched.requeues", "reason", "unreachable")).Value(); got != 1 {
+		t.Fatalf("sched.requeues{reason=unreachable} = %d, want 1", got)
+	}
+	if calls != 0 {
+		t.Fatalf("job terminated while its only site was unreachable (calls=%d err=%v)", calls, lastErr)
+	}
+	tb.net.SetLinkUp("a", "b", true)
+	tb.runFor(2 * sim.Hour)
+
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1", calls)
+	}
+	if lastErr != nil {
+		t.Fatalf("job should complete after the partition heals, got %v", lastErr)
+	}
+}
+
+func TestTryDispatchFailsFastOnExpiredJob(t *testing.T) {
+	// A huge repump interval keeps the background sweep out of the picture:
+	// the expiry must come from the dispatch path itself when capacity
+	// finally frees for a job whose Timeout already elapsed in queue.
+	tb := newTestbed(t, []netsim.SiteID{"a"}, Options{
+		MaxInFlightPerInstrument: 1, RepumpInterval: 6 * sim.Hour, AgingStep: -1,
+	})
+	tb.addBatchReactor("a", "batch-a")
+	tb.converge()
+
+	var firstErr, secondErr error
+	first, second := 0, 0
+	tb.s.Submit(Job{Tenant: "t", Origin: "a", Kind: instrument.KindSynthesis,
+		Cmd: validCmd("s-long")}, func(res instrument.Result, err error) {
+		first++
+		firstErr = err
+	})
+	tb.s.Submit(Job{Tenant: "t", Origin: "a", Kind: instrument.KindSynthesis,
+		Cmd: validCmd("s-dead"), Timeout: 2 * sim.Minute}, func(res instrument.Result, err error) {
+		second++
+		secondErr = err
+	})
+	tb.runFor(time30m() + 10*sim.Minute) // first completes (~30m), freeing capacity
+
+	if first != 1 || firstErr != nil {
+		t.Fatalf("first job: calls=%d err=%v", first, firstErr)
+	}
+	if second != 1 {
+		t.Fatalf("second job callback ran %d times, want 1", second)
+	}
+	if !errors.Is(secondErr, ErrExpired) {
+		t.Fatalf("second job error = %v, want ErrExpired", secondErr)
+	}
+	// It must have failed fast, never shipped to the instrument.
+	if got := tb.s.metrics.Counter("sched.dispatched").Value(); got != 1 {
+		t.Fatalf("sched.dispatched = %d, want 1 (expired job must not dispatch)", got)
 	}
 }

@@ -178,7 +178,7 @@ func (r *PathReport) Render() string {
 	if r.Untraced > 0 {
 		pct := 0.0
 		if r.Total > 0 {
-			pct = 100 * float64(r.Untraced)/float64(r.Total)
+			pct = 100 * float64(r.Untraced) / float64(r.Total)
 		}
 		fmt.Fprintf(&b, "  %-16s %12v  %5.1f%%\n", "(untraced)", r.Untraced, pct)
 	}

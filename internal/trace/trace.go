@@ -52,6 +52,14 @@ const (
 	KindNetDeliver = "net.deliver"     // netsim: one message hop
 	KindInstrument = "instrument.run"  // core/instrument: device queue+action
 	KindInsight    = "knowledge.sync"  // knowledge: insight publish -> merge
+
+	// Robustness-path kinds: chaos fault windows and the recovery actions
+	// they trigger, so an injected outage and the requeues it caused line up
+	// on the same Chrome-trace timeline.
+	KindChaos        = "chaos.inject"         // chaos: one injected fault window
+	KindSchedRetry   = "sched.retry"          // sched: backoff wait before a retry dispatch
+	KindSchedRequeue = "sched.requeue"        // sched: in-flight job rescued back to queue
+	KindQuarantine   = "knowledge.quarantine" // knowledge: insight rejected by vetting
 )
 
 // maxAttrs bounds per-span attributes so spans stay flat values that copy
@@ -324,14 +332,14 @@ func (c Context) Start(at sim.Time, site, kind, name string) (Span, Context) {
 	}
 	id := c.tr.nextSpanID()
 	return Span{
-			TraceID:  c.traceID,
-			SpanID:   id,
-			ParentID: c.spanID,
-			Site:     site,
-			Kind:     kind,
-			Name:     name,
-			Start:    at,
-		}, Context{tr: c.tr, traceID: c.traceID, spanID: id}
+		TraceID:  c.traceID,
+		SpanID:   id,
+		ParentID: c.spanID,
+		Site:     site,
+		Kind:     kind,
+		Name:     name,
+		Start:    at,
+	}, Context{tr: c.tr, traceID: c.traceID, spanID: id}
 }
 
 // Finish stamps the span's end and records it. Call it on the Context

@@ -351,6 +351,17 @@ func StandardRules(m Model) []Rule {
 				return true, ""
 			},
 		}}
+	case "electrolyte":
+		return []Rule{{
+			Name: "salt-solubility",
+			Check: func(p param.Point) (bool, string) {
+				// Concentrated salt crashes out of solution in the cold.
+				if p["salt_M"] > 2.0 && p["temperature_C"] < 0 {
+					return false, "salt precipitates above 2M below 0C"
+				}
+				return true, ""
+			},
+		}}
 	default:
 		return nil
 	}
@@ -393,5 +404,60 @@ func Registry() map[string]Model {
 		"quantum-dot": QuantumDot{},
 		"alloy":       Alloy{},
 		"reaction":    Reaction{},
+		"electrolyte": Electrolyte{},
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Battery electrolyte formulation (second science domain for the chaos and
+// multi-domain experiments).
+
+// Electrolyte models liquid battery electrolyte formulation: salt molarity,
+// cyclic/linear carbonate solvent blend, an additive, and operating
+// temperature. Objective "conductivity_mS" follows a Casteel-Amis-like
+// salt-concentration peak (ion count vs viscosity) modulated by solvent
+// blend and an Arrhenius temperature term; "viscosity_cP" is the
+// antagonistic secondary output.
+type Electrolyte struct{}
+
+// Name implements Model.
+func (Electrolyte) Name() string { return "electrolyte" }
+
+// Objective implements Model.
+func (Electrolyte) Objective() string { return "conductivity_mS" }
+
+// Space implements Model.
+func (Electrolyte) Space() param.Space {
+	return param.Space{
+		{Name: "salt_M", Lo: 0.05, Hi: 2.5, Unit: "M"},
+		{Name: "ec_frac", Lo: 0, Hi: 1},
+		{Name: "additive_pct", Lo: 0, Hi: 5, Unit: "%"},
+		{Name: "temperature_C", Lo: -20, Hi: 60, Unit: "C"},
+	}
+}
+
+// Eval implements Model.
+func (Electrolyte) Eval(p param.Point) map[string]float64 {
+	salt := p["salt_M"]
+	ec := p["ec_frac"]
+	add := p["additive_pct"]
+	tc := p["temperature_C"]
+
+	// Casteel-Amis shape: conductivity rises with carrier count, then
+	// viscosity chokes transport past ~1.1 M.
+	saltTerm := math.Pow(salt/1.1, 1.3) * math.Exp(1.3*(1-salt/1.1))
+	// Solvent blend: EC raises permittivity (dissociation) but thickens the
+	// mix; optimum near 30% cyclic carbonate.
+	blendTerm := 0.45 + 0.55*math.Exp(-math.Pow((ec-0.3)/0.22, 2))
+	// Arrhenius-like transport activation around room temperature.
+	tempTerm := math.Exp(2300 * (1/298.0 - 1/(tc+273.15)))
+	// Additive: small film-forming boost, conductivity penalty in excess.
+	addTerm := 1 + 0.06*(add/(add+0.8)) - 0.025*add
+
+	cond := 11.5 * saltTerm * blendTerm * tempTerm * addTerm
+	if cond < 0 {
+		cond = 0
+	}
+	visc := (1.2 + 2.4*salt*salt + 2.2*ec) * math.Exp(1200*(1/(tc+273.15)-1/298.0))
+	return map[string]float64{"conductivity_mS": cond, "viscosity_cP": visc}
 }

@@ -218,3 +218,40 @@ func TestPropertyModelsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestElectrolyteShape(t *testing.T) {
+	m := Electrolyte{}
+	eval := func(salt, ec, add, temp float64) float64 {
+		return m.Eval(param.Point{
+			"salt_M": salt, "ec_frac": ec, "additive_pct": add, "temperature_C": temp,
+		})["conductivity_mS"]
+	}
+	// Casteel-Amis: conductivity peaks near 1.1 M and falls off both ways.
+	peak := eval(1.1, 0.3, 0.5, 25)
+	if eval(0.2, 0.3, 0.5, 25) >= peak || eval(2.4, 0.3, 0.5, 25) >= peak {
+		t.Fatal("salt concentration response is not peaked near 1.1 M")
+	}
+	// Arrhenius: warmer electrolyte conducts better.
+	if eval(1.1, 0.3, 0.5, 50) <= eval(1.1, 0.3, 0.5, -10) {
+		t.Fatal("conductivity should rise with temperature")
+	}
+	// Excess additive loads the solution.
+	if eval(1.1, 0.3, 4.8, 25) >= eval(1.1, 0.3, 0.8, 25) {
+		t.Fatal("heavy additive loading should cost conductivity")
+	}
+	if peak <= 0 {
+		t.Fatalf("peak conductivity %v should be positive", peak)
+	}
+}
+
+func TestStandardRulesElectrolyteSolubility(t *testing.T) {
+	v := NewVerifier(Electrolyte{}, StandardRules(Electrolyte{})...)
+	cold := param.Point{"salt_M": 2.3, "ec_frac": 0.3, "additive_pct": 1, "temperature_C": -10}
+	if viol := v.Verify(cold); len(viol) == 0 {
+		t.Fatal("super-saturated cold electrolyte should be infeasible")
+	}
+	ok := param.Point{"salt_M": 1.0, "ec_frac": 0.3, "additive_pct": 1, "temperature_C": 25}
+	if viol := v.Verify(ok); len(viol) != 0 {
+		t.Fatalf("nominal formulation rejected: %v", viol)
+	}
+}
