@@ -34,6 +34,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
@@ -114,6 +115,43 @@ type (
 	// PathReport is a per-campaign critical-path breakdown.
 	PathReport = trace.PathReport
 )
+
+// Observability: the federation health engine. Enable with Config.Health
+// (Enabled: true); the assembled Network.Health then evaluates streaming
+// SLOs with multi-window burn-rate alerting, journals scheduler decisions
+// and fault injections into a bounded flight recorder that snapshots on
+// alerts and invariant violations, and links degraded jobs back to the
+// injected fault that caused them. The zero HealthOptions keeps the
+// engine off at zero cost (Network.Health stays nil, and every method on
+// a nil engine is a no-op).
+type (
+	// HealthOptions tunes the health engine via Config.Health.
+	HealthOptions = obs.Options
+	// HealthEngine is the assembled health engine (Network.Health).
+	HealthEngine = obs.Engine
+	// HealthSLO declares one service-level objective.
+	HealthSLO = obs.SLO
+	// HealthMetric is the SLI specification of an SLO.
+	HealthMetric = obs.Metric
+	// HealthBurnWindow is one multi-window burn-rate alerting rule.
+	HealthBurnWindow = obs.BurnWindow
+	// HealthSnapshot is one frozen flight-recorder state.
+	HealthSnapshot = obs.Snapshot
+	// HealthIncident is one per-fault incident report.
+	HealthIncident = obs.Incident
+	// HealthAttribution is root-cause coverage over degraded jobs.
+	HealthAttribution = obs.AttributionStats
+	// HealthFaultWindow is one applied fault window as the linker sees it.
+	HealthFaultWindow = obs.FaultWindow
+)
+
+// DefaultSLOs is the stock federation health policy: completion rate,
+// queue wait, knowledge sync lag, and a per-site queue-depth bound.
+func DefaultSLOs(sites []string) []HealthSLO { return obs.DefaultSLOs(sites) }
+
+// DefaultBurnWindows is the Google-SRE two-pair alerting policy (fast
+// 5m/1h at 14.4x, slow 6h/3d at 1x).
+func DefaultBurnWindows() []HealthBurnWindow { return obs.DefaultWindows() }
 
 // CriticalPaths reduces a span set to one critical-path report per trace,
 // attributing each campaign's end-to-end virtual latency to the federation

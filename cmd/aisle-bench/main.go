@@ -30,6 +30,8 @@ func main() {
 	traceout := flag.String("traceout", "BENCH_trace.json", "with -tracebench, the report path")
 	chaosbench := flag.Bool("chaosbench", false, "run the chaos matrix under invariant checking and record BENCH_chaos.json")
 	chaosout := flag.String("chaosout", "BENCH_chaos.json", "with -chaosbench, the report path")
+	obsbench := flag.Bool("obsbench", false, "benchmark health-engine overhead and attribution determinism and record BENCH_obs.json")
+	obsout := flag.String("obsout", "BENCH_obs.json", "with -obsbench, the report path")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +56,13 @@ func main() {
 	}
 	if *chaosbench {
 		if err := runChaosBench(*chaosout); err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsbench {
+		if err := runObsBench(*obsout); err != nil {
 			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
 			os.Exit(1)
 		}

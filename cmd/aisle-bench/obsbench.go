@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/aisle-sim/aisle/internal/experiments"
+	"github.com/aisle-sim/aisle/internal/obs"
+	"github.com/aisle-sim/aisle/internal/sim"
+)
+
+// obsModeResult is one health-engine mode's measurement in BENCH_obs.json.
+type obsModeResult struct {
+	NsPerOp          int64   `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	VirtualMakespanS float64 `json:"virtual_makespan_s"`
+	Samples          int     `json:"slo_samples,omitempty"`
+}
+
+// Health-engine benchmark workloads: the overhead probe reuses the
+// 200-campaign parallelism-4 scheduler macro behind SchedCampaignsP4, and
+// the attribution probe reuses the proven chaos-matrix cell behind
+// BENCH_chaos.json (15% intensity, self-healing on), so every checked-in
+// number describes a scenario that already has a property test.
+const (
+	obsBenchIters   = 5
+	obsChaosSeed    = 2
+	obsChaosJobs    = 300
+	obsChaosHorizon = 3 * sim.Hour
+)
+
+// The acceptance gates the bench enforces before writing the report.
+const (
+	obsMaxAllocOverheadPct = 2.0  // fully-enabled obs on the sched macro
+	obsMinCoverage         = 0.95 // fault attribution over degraded jobs
+)
+
+// runObsBench measures the health engine's overhead on the scheduler macro
+// (disabled vs fully enabled, virtual trajectories must match bit-exactly),
+// then runs one chaos cell twice at a fixed seed to prove the flight
+// recorder and incident reports are byte-deterministic and that fault
+// attribution covers at least 95% of degraded jobs. Writes BENCH_obs.json.
+func runObsBench(outPath string) error {
+	modes := []struct {
+		name string
+		opts obs.Options
+	}{
+		{"disabled", obs.Options{}},
+		{"enabled", obs.Options{Enabled: true}},
+	}
+	results := map[string]obsModeResult{}
+	for _, m := range modes {
+		r, err := measureObsMode(m.opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		results[m.name] = r
+	}
+
+	dis, en := results["disabled"], results["enabled"]
+	if en.VirtualMakespanS != dis.VirtualMakespanS {
+		return fmt.Errorf("health engine perturbed the simulation: makespan %.3fs observed vs %.3fs bare",
+			en.VirtualMakespanS, dis.VirtualMakespanS)
+	}
+	overhead := map[string]float64{
+		"wall_pct":             pctDelta(en.NsPerOp, dis.NsPerOp),
+		"allocs_pct":           pctDelta(en.AllocsPerOp, dis.AllocsPerOp),
+		"virtual_makespan_pct": 0, // enforced equal above
+	}
+	if overhead["allocs_pct"] > obsMaxAllocOverheadPct {
+		return fmt.Errorf("enabled health engine adds %.2f%% allocs on the sched macro (budget %.1f%%)",
+			overhead["allocs_pct"], obsMaxAllocOverheadPct)
+	}
+
+	chaosRep, err := runObsChaosProbe()
+	if err != nil {
+		return err
+	}
+
+	report := map[string]any{
+		"schema": "aisle/bench-obs/v1",
+		"workload": map[string]any{
+			"campaigns": macroCamps, "budget": macroBudget,
+			"parallelism": 4, "iters": obsBenchIters,
+			"chaos_seed": obsChaosSeed, "chaos_jobs": obsChaosJobs,
+			"chaos_horizon_s": obsChaosHorizon.Seconds(),
+		},
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"disabled":   dis,
+		"enabled":    en,
+		"overhead":   overhead,
+		"chaos":      chaosRep,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	for _, m := range modes {
+		r := results[m.name]
+		fmt.Printf("  %-9s %12d ns/op %12d B/op %10d allocs/op  makespan %.0fs  samples %d\n",
+			m.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.VirtualMakespanS, r.Samples)
+	}
+	fmt.Printf("  overhead  wall %+.2f%%  allocs %+.2f%%  virtual makespan +0%% (bit-exact)\n",
+		overhead["wall_pct"], overhead["allocs_pct"])
+	fmt.Printf("  chaos     coverage %.1f%%  incidents %d  snapshots %d  alerts %d  (byte-identical across reruns)\n",
+		chaosRep["attribution_coverage"].(float64)*100, chaosRep["incidents"],
+		chaosRep["snapshots"], chaosRep["alerts"])
+	return nil
+}
+
+// measureObsMode runs the macro obsBenchIters times (seeds 42, 43, ...) and
+// averages wall time and allocations; the reported makespan is the seed-42
+// run's, so the two modes' virtual columns compare like for like.
+func measureObsMode(opts obs.Options) (obsModeResult, error) {
+	var out obsModeResult
+	// One untimed warmup so neither mode pays first-run cache effects.
+	if _, err := runObsMacroOnce(41, opts); err != nil {
+		return out, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < obsBenchIters; i++ {
+		res, err := runObsMacroOnce(uint64(42+i), opts)
+		if err != nil {
+			return out, err
+		}
+		if i == 0 {
+			out.VirtualMakespanS = (res.Finish - res.Start).Seconds()
+			if res.Health != nil {
+				for _, s := range res.Health.Statuses() {
+					out.Samples += int(s.Total)
+					break // job-completion total is the representative stream
+				}
+			}
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	out.NsPerOp = wall.Nanoseconds() / obsBenchIters
+	out.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / obsBenchIters
+	out.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / obsBenchIters
+	return out, nil
+}
+
+func runObsMacroOnce(seed uint64, opts obs.Options) (experiments.SaturationResult, error) {
+	return experiments.RunSaturation(experiments.SaturationSpec{
+		Seed:        seed,
+		Campaigns:   macroCamps,
+		Budget:      macroBudget,
+		Parallelism: 4,
+		Health:      opts,
+	})
+}
+
+// runObsChaosProbe runs the 15%-intensity self-healing chaos cell twice at
+// the same seed with the health engine on, asserts the flight-recorder
+// snapshots and incident reports serialize byte-identically, and checks the
+// attribution-coverage floor.
+func runObsChaosProbe() (map[string]any, error) {
+	type probe struct {
+		res       experiments.ChaosResult
+		snaps     []byte
+		incidents []byte
+	}
+	runs := make([]probe, 2)
+	for i := range runs {
+		r, err := experiments.RunChaos(experiments.ChaosSpec{
+			Seed:      obsChaosSeed,
+			Jobs:      obsChaosJobs,
+			Horizon:   obsChaosHorizon,
+			Intensity: 0.15,
+			Recovery:  true,
+			Health:    obs.Options{Enabled: true},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos probe run %d: %w", i, err)
+		}
+		var sb, ib bytes.Buffer
+		if err := r.Health.WriteSnapshotsJSON(&sb); err != nil {
+			return nil, err
+		}
+		if err := r.Health.WriteIncidentsJSON(&ib); err != nil {
+			return nil, err
+		}
+		runs[i] = probe{res: r, snaps: sb.Bytes(), incidents: ib.Bytes()}
+	}
+	if !bytes.Equal(runs[0].snaps, runs[1].snaps) {
+		return nil, fmt.Errorf("flight-recorder snapshots differ across identical runs (%d vs %d bytes)",
+			len(runs[0].snaps), len(runs[1].snaps))
+	}
+	if !bytes.Equal(runs[0].incidents, runs[1].incidents) {
+		return nil, fmt.Errorf("incident reports differ across identical runs (%d vs %d bytes)",
+			len(runs[0].incidents), len(runs[1].incidents))
+	}
+	att := runs[0].res.Attribution
+	if att.DegradedJobs > 0 && att.Coverage < obsMinCoverage {
+		return nil, fmt.Errorf("attribution coverage %.1f%% below the %.0f%% floor (%d/%d degraded jobs attributed)",
+			att.Coverage*100, obsMinCoverage*100, att.AttributedJobs, att.DegradedJobs)
+	}
+	r := runs[0].res
+	prof := r.Health.Profile()
+	return map[string]any{
+		"completion_rate":      r.CompletionRate,
+		"injections":           r.Injections,
+		"degraded_jobs":        att.DegradedJobs,
+		"attributed_jobs":      att.AttributedJobs,
+		"attribution_coverage": att.Coverage,
+		"incidents":            len(r.Incidents),
+		"snapshots":            len(r.Health.Snapshots()),
+		"alerts":               len(r.Health.Alerts()),
+		"snapshot_bytes":       len(runs[0].snaps),
+		"incident_bytes":       len(runs[0].incidents),
+		"deterministic":        true, // enforced by the byte comparison above
+		"spine_profile":        prof,
+	}, nil
+}

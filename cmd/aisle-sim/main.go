@@ -6,11 +6,15 @@
 //	aisle-sim -config scenario.json
 //	aisle-sim -example          # print a template scenario and exit
 //	aisle-sim -trace trace.json # also record a Chrome/Perfetto trace
+//	aisle-sim -watch            # health engine + periodic SLO table
 //
 // The scenario schema (see -example) declares sites, per-site instruments,
 // and one campaign. With -trace the run records every span (sampling 1.0)
 // and writes a chrome://tracing-loadable JSON file plus a critical-path
 // breakdown on stderr; -metrics writes the labeled telemetry snapshot.
+// With -watch the run assembles the federation health engine and renders
+// its SLO burn-rate table to stderr every six virtual hours, plus any
+// alerts that fired, when the run completes.
 package main
 
 import (
@@ -71,6 +75,7 @@ func main() {
 	example := flag.Bool("example", false, "print a template scenario and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	metricsPath := flag.String("metrics", "", "write a labeled telemetry snapshot JSON file")
+	watch := flag.Bool("watch", false, "enable the health engine and print a periodic SLO table")
 	flag.Parse()
 
 	if *example {
@@ -105,6 +110,7 @@ func main() {
 		ZeroTrust:       sc.ZeroTrust,
 		SharedKnowledge: sc.SharedKnowledge,
 		Trace:           aisle.TraceOptions{Enabled: *tracePath != ""},
+		Health:          aisle.HealthOptions{Enabled: *watch},
 	})
 	defer n.Stop()
 
@@ -161,9 +167,20 @@ func main() {
 		if err := n.RunFor(6 * aisle.Hour); err != nil {
 			log.Fatal(err)
 		}
+		if *watch {
+			fmt.Fprintf(os.Stderr, "aisle-sim: health at t=%s\n%s",
+				n.Eng.Now(), n.Health.Table().Render())
+		}
 	}
 	if rep.Err != nil {
 		log.Fatal(rep.Err)
+	}
+	if *watch {
+		fmt.Fprintf(os.Stderr, "aisle-sim: final health at t=%s\n%s",
+			n.Eng.Now(), n.Health.Table().Render())
+		for _, a := range n.Health.Alerts() {
+			fmt.Fprintf(os.Stderr, "aisle-sim: alert %s at t=%s: %s\n", a.SLO, a.At, a.Detail)
+		}
 	}
 
 	if *tracePath != "" {

@@ -1,0 +1,55 @@
+package aisle_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamples builds and runs every program under examples/: each is a
+// complete federation scenario, so together they exercise the public facade
+// end to end (assembly, campaigns, scheduling, tracing, chaos, health).
+// Programs run in a scratch directory so artifact writers (Chrome traces,
+// metric snapshots) cannot litter the repository.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations; skipped in -short mode")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := filepath.Glob(filepath.Join(root, "examples", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			scratch := t.TempDir()
+			bin := filepath.Join(scratch, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("building %s: %v\n%s", name, err, out)
+			}
+			run := exec.Command(bin)
+			run.Dir = scratch
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("running %s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		})
+	}
+}

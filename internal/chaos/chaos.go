@@ -5,6 +5,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/security"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
@@ -31,6 +32,10 @@ type Target struct {
 	// Poison publishes one out-of-bounds insight from the site. Required
 	// for KindByzantine events.
 	Poison func(site netsim.SiteID)
+	// Observe, when non-nil, is told about every applied fault window —
+	// the health engine's root-cause linker keys incident attribution off
+	// this stream. Skipped (hook-less) events are not reported.
+	Observe func(ev Event, start, end sim.Time)
 }
 
 // Bind derives a Target from a core federation, wiring the bad-creds hook
@@ -52,6 +57,16 @@ func Bind(n *core.Network) Target {
 		Sites:   n.Sites(),
 		Metrics: n.Metrics,
 		Tracer:  n.Tracer,
+	}
+	if h := n.Health; h != nil {
+		tgt.Observe = func(ev Event, start, end sim.Time) {
+			h.ObserveFault(obs.FaultWindow{
+				Kind:  string(ev.Kind),
+				Site:  string(ev.Site),
+				Start: start,
+				End:   end,
+			})
+		}
 	}
 	if orig := n.Fabric.TokenSource; orig != nil {
 		bad := make(map[netsim.SiteID]bool)
@@ -128,6 +143,9 @@ func (inj *Injector) inject(ev Event) {
 	}
 	if inj.tgt.Metrics != nil {
 		inj.tgt.Metrics.Counter(telemetry.Key("chaos.injections", "kind", string(ev.Kind))).Inc()
+	}
+	if inj.tgt.Observe != nil {
+		inj.tgt.Observe(ev, now, now+ev.Duration)
 	}
 	sp, cc := inj.ctx.Start(now, string(ev.Site), trace.KindChaos, string(ev.Kind))
 	inj.tgt.Eng.Schedule(ev.Duration, func() {

@@ -33,6 +33,20 @@ type Checker struct {
 	terminals  map[string]int
 	order      []string
 	violations []string
+
+	// OnViolation, when non-nil, fires synchronously for each violation as
+	// it is recorded — the health engine uses it to trip a flight-recorder
+	// snapshot at the instant an invariant breaks. The callback runs with
+	// the checker's lock held and must not call back into the checker.
+	OnViolation func(msg string)
+}
+
+// violateLocked appends a violation and fires the hook; callers hold c.mu.
+func (c *Checker) violateLocked(msg string) {
+	c.violations = append(c.violations, msg)
+	if c.OnViolation != nil {
+		c.OnViolation(msg)
+	}
 }
 
 // NewChecker builds an empty checker.
@@ -45,7 +59,7 @@ func (c *Checker) Submitted(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.terminals[id]; dup {
-		c.violations = append(c.violations, fmt.Sprintf("job %s submitted twice", id))
+		c.violateLocked(fmt.Sprintf("job %s submitted twice", id))
 		return
 	}
 	c.terminals[id] = 0
@@ -59,11 +73,11 @@ func (c *Checker) Terminal(id string, err error) {
 	defer c.mu.Unlock()
 	n, ok := c.terminals[id]
 	if !ok {
-		c.violations = append(c.violations, fmt.Sprintf("terminal for unknown job %s", id))
+		c.violateLocked(fmt.Sprintf("terminal for unknown job %s", id))
 		return
 	}
 	if n >= 1 {
-		c.violations = append(c.violations, fmt.Sprintf("job %s reached %d terminal callbacks", id, n+1))
+		c.violateLocked(fmt.Sprintf("job %s reached %d terminal callbacks", id, n+1))
 	}
 	c.terminals[id] = n + 1
 }
@@ -79,7 +93,7 @@ func (c *Checker) WatchNet(n *netsim.Network) {
 		}
 		if l := n.LinkBetween(msg.From, msg.To); l == nil || !l.Up() {
 			c.mu.Lock()
-			c.violations = append(c.violations, fmt.Sprintf(
+			c.violateLocked(fmt.Sprintf(
 				"message %s->%s (%s) delivered across a down link", msg.From, msg.To, msg.Service))
 			c.mu.Unlock()
 		}
@@ -100,7 +114,7 @@ func (c *Checker) BusTap(fed *security.Federation) bus.Middleware {
 		tok, _ := env.Token.(*security.Token)
 		if err := fed.Verify(env.To.Site, tok); err != nil {
 			c.mu.Lock()
-			c.violations = append(c.violations, fmt.Sprintf(
+			c.violateLocked(fmt.Sprintf(
 				"unauthenticated knowledge publish admitted at %s from %s: %v",
 				env.To.Site, env.From.Site, err))
 			c.mu.Unlock()
@@ -130,7 +144,7 @@ func (c *Checker) CheckKnowledge(fed *knowledge.Federation, sites []netsim.SiteI
 				}
 				if bad {
 					c.mu.Lock()
-					c.violations = append(c.violations, fmt.Sprintf(
+					c.violateLocked(fmt.Sprintf(
 						"site %s holds out-of-bounds %s observation (value %g) visible to optimizers",
 						site, domain, v))
 					c.mu.Unlock()
@@ -149,7 +163,7 @@ func (c *Checker) Check() []string {
 		// Extra terminals were flagged as they happened; the audit adds the
 		// jobs that never reached one.
 		if c.terminals[id] == 0 {
-			c.violations = append(c.violations, fmt.Sprintf(
+			c.violateLocked(fmt.Sprintf(
 				"job %s reached 0 terminal callbacks (want 1)", id))
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/knowledge"
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/security"
@@ -50,6 +51,11 @@ type Config struct {
 	// network's Tracer stays nil and every instrumentation site reduces to
 	// a pointer test.
 	Trace trace.Options
+	// Health enables the federation health engine: streaming SLO
+	// evaluation with burn-rate alerting, the flight recorder, and
+	// incident root-cause linking. The zero value keeps it off: the
+	// network's Health stays nil and the scheduler observer is never wired.
+	Health obs.Options
 }
 
 // DefaultLink is a realistic lab-to-lab WAN link: 15 ms propagation, 1 ms
@@ -97,6 +103,9 @@ type Network struct {
 	// Tracer records causal spans when Config.Trace enables it; nil (the
 	// default) keeps every instrumentation site on its zero-cost path.
 	Tracer *trace.Tracer
+	// Health is the federation health engine when Config.Health enables
+	// it; nil (the default) keeps every hook on its zero-cost path.
+	Health *obs.Engine
 
 	sites map[netsim.SiteID]*Site
 }
@@ -194,6 +203,28 @@ func New(cfg Config) *Network {
 				return nil
 			},
 		})
+	}
+
+	// Health engine: watch every subsystem registry, observe scheduler
+	// decisions, and start the SLO sampling ticker. The engine only reads
+	// state, so the virtual trajectory is identical with it on or off.
+	if n.Health = obs.New(eng, cfg.Health); n.Health != nil {
+		if len(cfg.Health.SLOs) == 0 {
+			names := make([]string, len(cfg.Sites))
+			for i, id := range cfg.Sites {
+				names[i] = string(id)
+			}
+			for _, s := range obs.DefaultSLOs(names) {
+				n.Health.AddSLO(s)
+			}
+		}
+		n.Health.Watch("core", n.Metrics)
+		n.Health.Watch("net", net.Metrics())
+		n.Health.Watch("bus", fab.Metrics())
+		n.Health.Watch("knowledge", know.Metrics())
+		n.Health.WatchTracer(n.Tracer)
+		n.Sched.Observer = n.Health.ObserveDecision
+		n.Health.Start()
 	}
 
 	if cfg.ZeroTrust {
@@ -342,6 +373,7 @@ func (s *Site) RunInstrument(rec discovery.Record, cmd instrument.Command,
 func (n *Network) Stop() {
 	n.Directory.Stop()
 	n.Sched.Stop()
+	n.Health.Stop()
 	for _, s := range n.sites {
 		if s.orchestratorTM != nil {
 			s.orchestratorTM.Stop()

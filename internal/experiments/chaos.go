@@ -9,6 +9,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/knowledge"
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/param"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
@@ -45,6 +46,10 @@ type ChaosSpec struct {
 	Kinds []chaos.Kind
 	// Trace enables tracing for the run.
 	Trace trace.Options
+	// Health enables the federation health engine for the run: SLO burn
+	// alerts, flight-recorder snapshots on invariant trips, and per-fault
+	// incident attribution.
+	Health obs.Options
 }
 
 func (s *ChaosSpec) defaults() {
@@ -81,6 +86,14 @@ type ChaosResult struct {
 	Violations []string
 	// Tracer exposes the run's spans when Trace was enabled.
 	Tracer *trace.Tracer
+	// Health exposes the run's health engine when Health was enabled:
+	// snapshots, alerts, incidents, and the spine profile.
+	Health *obs.Engine
+	// Attribution is the root-cause coverage over degraded jobs (zero
+	// value when Health was off).
+	Attribution obs.AttributionStats
+	// Incidents are the per-fault reports the linker assembled.
+	Incidents []obs.Incident
 }
 
 // chaosDomains describes the two science domains E16 schedules across.
@@ -109,7 +122,8 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 		Sched: sched.Options{
 			Recover: spec.Recovery,
 		},
-		Trace: spec.Trace,
+		Trace:  spec.Trace,
+		Health: spec.Health,
 	})
 	defer n.Stop()
 
@@ -150,6 +164,7 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 	}
 
 	checker := chaos.NewChecker()
+	checker.OnViolation = n.Health.ObserveViolation
 	checker.WatchNet(n.Net)
 	// After core's zero-trust middleware: the tap only sees envelopes that
 	// admission accepted, so a bad token reaching it is the violation.
@@ -273,6 +288,9 @@ func RunChaos(spec ChaosSpec) (ChaosResult, error) {
 		Quarantined:    quarantined,
 		Violations:     violations,
 		Tracer:         n.Tracer,
+		Health:         n.Health,
+		Attribution:    n.Health.Attribution(),
+		Incidents:      n.Health.Incidents(),
 	}
 	if len(latencies) > 0 {
 		sort.Float64s(latencies)

@@ -1,10 +1,51 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/sim"
 )
+
+// dumpHealthEvidence freezes the run's flight recorder and writes the
+// snapshot journal plus the incident root-cause report under the directory
+// named by AISLE_SNAPSHOT_DIR. CI sets the variable on the chaos lane and
+// uploads the directory as an artifact when the lane fails, so a red run
+// ships the evidence needed to diagnose it. No-op when the variable is
+// unset (local runs) or the run's health engine was disabled.
+func dumpHealthEvidence(t *testing.T, res ChaosResult, tag string) {
+	t.Helper()
+	dir := os.Getenv("AISLE_SNAPSHOT_DIR")
+	if dir == "" || res.Health == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("flight recorder: mkdir %s: %v", dir, err)
+		return
+	}
+	// Freeze whatever the ring holds right now: violations snapshot
+	// automatically, but a terminal-count mismatch with no violation would
+	// otherwise leave the journal unfrozen.
+	res.Health.Snapshot("ci:" + tag)
+	write := func(name string, fn func(io.Writer) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Logf("flight recorder: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Logf("flight recorder: writing %s: %v", name, err)
+		}
+	}
+	write("snapshots-"+tag+".json", res.Health.WriteSnapshotsJSON)
+	write("incidents-"+tag+".json", res.Health.WriteIncidentsJSON)
+	t.Logf("flight-recorder evidence for %s written under %s", tag, dir)
+}
 
 // TestChaosInvariantsAcrossSeeds is the seeded property test behind E16's
 // acceptance bar: 5 seeds x 120 jobs = 600 submissions under randomized
@@ -20,10 +61,12 @@ func TestChaosInvariantsAcrossSeeds(t *testing.T) {
 			Horizon:   2 * sim.Hour,
 			Intensity: 0.30,
 			Recovery:  true,
+			Health:    obs.Options{Enabled: true},
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+		dumpHealthEvidence(t, res, fmt.Sprintf("invariants-seed-%d", seed))
 		if got := res.Completed + res.Failed; got != res.Submitted {
 			t.Errorf("seed %d: %d terminal outcomes for %d submissions", seed, got, res.Submitted)
 		}
@@ -72,10 +115,12 @@ func TestChaosRecoveryOutcompletesBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec.Recovery = true
+	spec.Health = obs.Options{Enabled: true}
 	healed, err := RunChaos(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	dumpHealthEvidence(t, healed, "recovery-seed-2")
 	if healed.CompletionRate < 0.95 {
 		t.Errorf("recovery completion rate %.1f%% < 95%%", healed.CompletionRate*100)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/instrument"
+	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
 	"github.com/aisle-sim/aisle/internal/trace"
@@ -25,6 +26,9 @@ type SaturationSpec struct {
 	// Trace enables causal tracing for the run; the zero value keeps the
 	// workload on the untraced fast path.
 	Trace trace.Options
+	// Health enables the federation health engine for the run; the zero
+	// value keeps every health hook on its zero-cost path.
+	Health obs.Options
 }
 
 // SaturationResult reports a completed saturation run in virtual time.
@@ -37,6 +41,8 @@ type SaturationResult struct {
 	// otherwise); Metrics is the federation registry either way.
 	Tracer  *trace.Tracer
 	Metrics *telemetry.Registry
+	// Health is the run's health engine when Spec.Health enabled it.
+	Health *obs.Engine
 }
 
 // RunSaturation drives the spec to completion and returns the virtual
@@ -48,7 +54,7 @@ func RunSaturation(spec SaturationSpec) (SaturationResult, error) {
 	}
 	sites := siteNames(spec.Sites)
 	n := core.New(core.Config{Seed: spec.Seed, Sites: sites, Link: core.DefaultLink(),
-		Trace: spec.Trace})
+		Trace: spec.Trace, Health: spec.Health})
 	defer n.Stop()
 	for _, id := range sites {
 		s := n.Site(id)
@@ -61,7 +67,7 @@ func RunSaturation(spec SaturationSpec) (SaturationResult, error) {
 		return SaturationResult{}, err
 	}
 	res := SaturationResult{Start: n.Eng.Now(), Finish: n.Eng.Now(),
-		Tracer: n.Tracer, Metrics: n.Metrics}
+		Tracer: n.Tracer, Metrics: n.Metrics, Health: n.Health}
 	var failure error
 	for c := 0; c < spec.Campaigns; c++ {
 		n.RunCampaign(core.CampaignConfig{

@@ -105,6 +105,7 @@ type Federation struct {
 	fabric  *bus.Fabric
 	eng     *sim.Engine
 	metrics *telemetry.Registry
+	syncLag *telemetry.Histogram // knowledge.sync_lag_s: publish -> merge
 	bases   map[netsim.SiteID]*Base
 
 	// Shared: when false, Add stays site-local (the E3 isolated baseline).
@@ -135,6 +136,7 @@ func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Fede
 		AckTimeout:  2 * sim.Second,
 		MaxAttempts: 5,
 	}
+	f.syncLag = f.metrics.Histogram("knowledge.sync_lag_s")
 	for _, s := range sites {
 		b := &Base{site: s, fed: f, insights: make(map[string]*Insight), clock: VectorClock{}}
 		f.bases[s] = b
@@ -158,6 +160,9 @@ func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Fede
 							sp.SetStr("from", string(ins.Source))
 							cc.Finish(&sp, f.eng.Now())
 						}
+						// Publish -> merge lag, the SLO engine's sync-health
+						// signal; retransmissions under loss stretch it.
+						f.syncLag.Observe((f.eng.Now() - ins.At).Seconds())
 						b.merge(ins)
 					}
 				})

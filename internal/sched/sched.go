@@ -177,6 +177,64 @@ func (o *Options) defaults() {
 	}
 }
 
+// DecisionKind classifies one scheduler decision event.
+type DecisionKind uint8
+
+// Decision kinds, in lifecycle order.
+const (
+	DecisionSubmit   DecisionKind = iota // job entered an origin queue
+	DecisionDispatch                     // job shipped to an instrument
+	DecisionComplete                     // terminal success
+	DecisionFail                         // terminal failure
+	DecisionRetry                        // failed dispatch consumed retry budget
+	DecisionRescue                       // in-flight job pulled back by recovery
+	DecisionExpire                       // job outlived Timeout in queue
+	DecisionCancel                       // tenant released while job queued
+	DecisionSteal                        // job landed at a thief site
+)
+
+// String renders the decision kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionSubmit:
+		return "submit"
+	case DecisionDispatch:
+		return "dispatch"
+	case DecisionComplete:
+		return "complete"
+	case DecisionFail:
+		return "fail"
+	case DecisionRetry:
+		return "retry"
+	case DecisionRescue:
+		return "rescue"
+	case DecisionExpire:
+		return "expire"
+	case DecisionCancel:
+		return "cancel"
+	case DecisionSteal:
+		return "steal"
+	}
+	return fmt.Sprintf("decision(%d)", int(k))
+}
+
+// Decision is one scheduler decision event, emitted synchronously to the
+// Observer at every job lifecycle transition. It is a flat value — the
+// health engine's flight recorder copies it into a preallocated ring, so
+// emission allocates nothing.
+type Decision struct {
+	Kind   DecisionKind
+	At     sim.Time
+	Job    string // Cmd.SampleID: the submitter's stable job identity
+	Tenant string
+	Origin netsim.SiteID
+	Host   netsim.SiteID // dispatch host; "" before the first dispatch
+	Inst   string        // dispatched instrument instance; "" before dispatch
+	Reason string        // failure cause / rescue reason / steal source
+	// Attempt counts prior failed dispatches plus rescues for this job.
+	Attempt int
+}
+
 // SiteBinding is what the scheduler needs from one federation site: the
 // local directory view for routing, the local fleet for state inspection,
 // and a credential supplier for dispatch under zero trust.
@@ -279,6 +337,32 @@ type Scheduler struct {
 
 	pumpQueued bool
 	stopTicker func()
+
+	// Observer, when non-nil, receives a Decision at every job lifecycle
+	// transition (submit, dispatch, retry, rescue, terminal outcome). Set it
+	// after New and before traffic flows; the nil default costs one pointer
+	// test per transition. Observers must only record — mutating scheduler
+	// state from the callback is not supported.
+	Observer func(Decision)
+}
+
+// observe emits a Decision to the Observer, deriving the job identity and
+// routing fields from the queued job's current state.
+func (s *Scheduler) observe(kind DecisionKind, qj *queuedJob, reason string) {
+	if s.Observer == nil {
+		return
+	}
+	s.Observer(Decision{
+		Kind:    kind,
+		At:      s.eng.Now(),
+		Job:     qj.job.Cmd.SampleID,
+		Tenant:  qj.job.Tenant,
+		Origin:  qj.job.Origin,
+		Host:    qj.host,
+		Inst:    qj.inst,
+		Reason:  reason,
+		Attempt: qj.attempt + qj.reroutes,
+	})
 }
 
 // New builds a scheduler on the engine, network, and bus fabric, reporting
@@ -429,6 +513,7 @@ func (s *Scheduler) Submit(j Job, cb func(instrument.Result, error)) {
 	t.jobs = append(t.jobs, qj)
 	s.queued++
 	s.metrics.Counter("sched.submitted").Inc()
+	s.observe(DecisionSubmit, qj, "")
 	s.gauges()
 	s.schedulePump()
 }
@@ -585,6 +670,7 @@ func (s *Scheduler) expireQueued() {
 		s.metrics.Counter("sched.expired").Inc()
 		qj.qspan.SetStr("outcome", "expired")
 		qj.qctx.Finish(&qj.qspan, now)
+		s.observe(DecisionExpire, qj, "timeout")
 		qj.cb(instrument.Result{}, fmt.Errorf("%w: kind %s queued %v",
 			ErrExpired, qj.job.Kind, now-qj.enqueued))
 	}
@@ -622,6 +708,7 @@ func (s *Scheduler) ReleaseTenant(id string) {
 		s.metrics.Counter("sched.canceled").Inc()
 		qj.qspan.SetStr("outcome", "canceled")
 		qj.qctx.Finish(&qj.qspan, s.eng.Now())
+		s.observe(DecisionCancel, qj, "released")
 		qj.cb(instrument.Result{}, fmt.Errorf("%w: tenant %s released", ErrCanceled, id))
 	}
 	if len(canceled) > 0 {
@@ -678,6 +765,7 @@ func (s *Scheduler) failExpired(qj *queuedJob, now sim.Time) {
 	s.metrics.Counter("sched.expired").Inc()
 	qj.qspan.SetStr("outcome", "expired")
 	qj.qctx.Finish(&qj.qspan, now)
+	s.observe(DecisionExpire, qj, "timeout")
 	queued := now - qj.enqueued
 	kind := qj.job.Kind
 	s.eng.Schedule(0, func() {
@@ -795,6 +883,7 @@ func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec disco
 	if rec.Addr.Site != ss.bind.ID {
 		s.metrics.Counter("sched.remote_dispatches").Inc()
 	}
+	s.observe(DecisionDispatch, qj, "")
 	s.gauges()
 
 	origin := ss.bind.ID
@@ -849,12 +938,15 @@ func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec disco
 			s.retry(qj, err)
 		} else if err != nil {
 			s.metrics.Counter("sched.failures").Inc()
+			s.observe(DecisionFail, qj, err.Error())
 			qj.cb(instrument.Result{}, err)
 		} else if res, ok := result.(instrument.Result); ok {
 			s.metrics.Counter("sched.completed").Inc()
+			s.observe(DecisionComplete, qj, "")
 			qj.cb(res, nil)
 		} else {
 			s.metrics.Counter("sched.failures").Inc()
+			s.observe(DecisionFail, qj, "unexpected reply type")
 			qj.cb(instrument.Result{}, fmt.Errorf("sched: unexpected reply type %T", result))
 		}
 		// The host freed capacity and gets first claim on it; the origin
@@ -892,6 +984,7 @@ func (s *Scheduler) retry(qj *queuedJob, cause error) {
 	qj.attempt++
 	s.metrics.Counter(telemetry.Key("sched.retries",
 		"site", string(qj.job.Origin), "tenant", qj.job.Tenant)).Inc()
+	s.observe(DecisionRetry, qj, cause.Error())
 	backoff := s.opts.RetryBase << uint(qj.attempt-1)
 	if backoff > s.opts.RetryMax || backoff <= 0 {
 		backoff = s.opts.RetryMax
@@ -931,6 +1024,7 @@ func (s *Scheduler) recoverInFlight() {
 		if !s.net.Reachable(qj.job.Origin, qj.host, "bus") {
 			reason = "unreachable"
 		}
+		s.observe(DecisionRescue, qj, reason)
 		s.requeue(qj, reason, trace.KindSchedRequeue, 0)
 	}
 	if len(rescued) > 0 {
@@ -970,6 +1064,7 @@ func (s *Scheduler) requeue(qj *queuedJob, reason, kind string, backoff sim.Time
 	}
 	if t == nil {
 		s.metrics.Counter("sched.canceled").Inc()
+		s.observe(DecisionCancel, qj, "released")
 		s.eng.Schedule(0, func() {
 			qj.cb(instrument.Result{}, fmt.Errorf("%w: tenant %s released",
 				ErrCanceled, qj.job.Tenant))
@@ -1053,6 +1148,7 @@ func (s *Scheduler) maybeSteal(ss *siteSched) {
 				cc.Finish(&sp, s.eng.Now())
 			}
 			qj.job.Origin = ss.bind.ID
+			s.observe(DecisionSteal, qj, string(victimID))
 			t, ok := ss.tenants[qj.job.Tenant]
 			if !ok {
 				t = ss.tenant(qj.cfg)

@@ -154,6 +154,24 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// CountAtOrBelow reports how many observations certainly fell at or below
+// v: the total count of buckets whose upper bound does not exceed v. The
+// estimate is conservative — observations sharing v's own bucket are
+// excluded, so an SLO counting "good" events with it never over-reports
+// health by more than one bucket's width (~26% at 10 buckets/decade).
+func (h *Histogram) CountAtOrBelow(v float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n int64
+	for i, b := range h.buckets {
+		if bucketUpper(i) > v {
+			break
+		}
+		n += b
+	}
+	return n
+}
+
 // Quantile estimates the q-quantile (0<=q<=1) from the log buckets. The
 // estimate is the upper bound of the bucket containing the quantile, so it
 // is conservative (never under-reports a latency).
@@ -300,6 +318,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// FindCounter returns the named counter without creating it, or nil. The
+// SLO engine polls with Find* so watching a metric a subsystem has not
+// emitted yet never materializes a phantom series.
+func (r *Registry) FindCounter(name string) *Counter {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[name]
+}
+
+// FindGauge returns the named gauge without creating it, or nil.
+func (r *Registry) FindGauge(name string) *Gauge {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gauges[name]
+}
+
+// FindHistogram returns the named histogram without creating it, or nil.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hists[name]
+}
+
 // Names returns the sorted names of all metrics of every kind.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
@@ -318,16 +359,58 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// HistogramSnapshot is the point-in-time summary of one histogram.
+// HistogramBucket is one occupied log bucket: the count of observations in
+// (previous bound, UpperBound].
+type HistogramBucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramSnapshot is the point-in-time summary of one histogram. Buckets
+// carries the occupied log buckets with their boundaries, so external tools
+// (and the SLO engine) can reconstruct the distribution rather than being
+// limited to the derived quantiles.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets with the
+// same conservative upper-bound rule as Histogram.Quantile, so a parsed
+// snapshot reconstructs the distribution the live histogram reported.
+func (hs *HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return hs.Min
+	}
+	if q >= 1 {
+		return hs.Max
+	}
+	target := int64(math.Ceil(q * float64(hs.Count)))
+	var cum int64
+	for _, b := range hs.Buckets {
+		cum += b.Count
+		if cum >= target {
+			u := b.UpperBound
+			if u > hs.Max {
+				u = hs.Max
+			}
+			if u < hs.Min {
+				u = hs.Min
+			}
+			return u
+		}
+	}
+	return hs.Max
 }
 
 // Snapshot is a consistent-per-metric view of a registry, including
@@ -390,6 +473,12 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			if h.count > 0 {
 				hs.Mean = h.sum / float64(h.count)
+			}
+			for j, b := range h.buckets {
+				if b > 0 {
+					hs.Buckets = append(hs.Buckets, HistogramBucket{
+						UpperBound: bucketUpper(j), Count: b})
+				}
 			}
 			h.mu.Unlock()
 			snap.Histograms[histNames[i]] = hs

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"strings"
@@ -336,5 +337,106 @@ func TestPropertyHistogramMean(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestKeyEdgeCases(t *testing.T) {
+	// Duplicate label names both survive into the canonical form (callers
+	// own dedup); the relative order of equal keys is whatever the sort
+	// yields, but it must be deterministic call to call.
+	dup := Key("m", "site", "b", "site", "a")
+	if dup != "m{site=b,site=a}" && dup != "m{site=a,site=b}" {
+		t.Fatalf("duplicate-label key = %q", dup)
+	}
+	if again := Key("m", "site", "b", "site", "a"); again != dup {
+		t.Fatalf("duplicate-label key not deterministic: %q vs %q", dup, again)
+	}
+	// Empty label values and names stay verbatim rather than collapsing —
+	// distinct raw inputs must never alias to one series.
+	if got := Key("m", "site", ""); got != "m{site=}" {
+		t.Fatalf("empty-value key = %q", got)
+	}
+	if got := Key("m", "", "v"); got != "m{=v}" {
+		t.Fatalf("empty-name key = %q", got)
+	}
+	// Reserved characters ({}=,) in values pass through unescaped; the
+	// canonical ordering still keys on the label name.
+	a := Key("m", "b", "x=y", "a", "p,q")
+	if a != "m{a=p,q,b=x=y}" {
+		t.Fatalf("reserved-char key = %q", a)
+	}
+	if Key("m", "a", "p,q", "b", "x=y") != a {
+		t.Fatalf("reserved chars broke order-independence")
+	}
+	// A trailing odd key is dropped wholesale, not half-applied.
+	if got := Key("m", "site", "ornl", "dangling"); got != "m{site=ornl}" {
+		t.Fatalf("odd trailing kv key = %q", got)
+	}
+}
+
+func TestSnapshotRoundTripsThroughJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Key("jobs", "site", "ornl")).Add(11)
+	r.Gauge("depth").Set(2.5)
+	h := r.Histogram("wait_s")
+	for _, v := range []float64{0.1, 0.5, 1, 5, 30, 120} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not parse back: %v", err)
+	}
+	if got := parsed.Counters[Key("jobs", "site", "ornl")]; got != 11 {
+		t.Fatalf("counter round-trip = %d, want 11", got)
+	}
+	if got := parsed.Gauges["depth"]; got != 2.5 {
+		t.Fatalf("gauge round-trip = %v, want 2.5", got)
+	}
+	hs, ok := parsed.Histograms["wait_s"]
+	if !ok {
+		t.Fatalf("histogram missing from parsed snapshot: %s", b.String())
+	}
+	live := r.FindHistogram("wait_s")
+	if hs.Count != live.Count() || hs.Sum != h.Sum() {
+		t.Fatalf("histogram summary round-trip = %+v", hs)
+	}
+	// The exported buckets carry the full distribution: counts add up and
+	// the parsed snapshot re-derives the same conservative quantiles.
+	var total int64
+	for i, bk := range hs.Buckets {
+		if bk.Count <= 0 {
+			t.Fatalf("bucket %d has non-positive count: %+v", i, bk)
+		}
+		if i > 0 && bk.UpperBound <= hs.Buckets[i-1].UpperBound {
+			t.Fatalf("bucket bounds not ascending: %+v", hs.Buckets)
+		}
+		total += bk.Count
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, hs.Count)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := hs.Quantile(q), h.Quantile(q); got != want {
+			t.Fatalf("parsed q%.2f = %v, live = %v", q, got, want)
+		}
+	}
+}
+
+func TestFindDoesNotCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.FindCounter("c") != nil || r.FindGauge("g") != nil || r.FindHistogram("h") != nil {
+		t.Fatal("Find* returned a metric on an empty registry")
+	}
+	c := r.Counter("c")
+	if r.FindCounter("c") != c {
+		t.Fatal("FindCounter did not return the registered counter")
+	}
+	if len(r.Names()) != 1 {
+		t.Fatalf("Find* created metrics: %v", r.Names())
 	}
 }

@@ -156,9 +156,10 @@ type Tracer struct {
 }
 
 type siteBuf struct {
-	spans []Span // len == capacity once full
-	head  int    // next write index once spans is at capacity
-	total uint64 // spans ever recorded at this site
+	spans   []Span // len == capacity once full
+	head    int    // next write index once spans is at capacity
+	total   uint64 // spans ever recorded at this site
+	dropped uint64 // spans overwritten by ring wrap at this site
 }
 
 // New builds a tracer, or returns nil when opts.Enabled is false — callers
@@ -230,6 +231,7 @@ func (t *Tracer) record(s *Span) {
 		b.spans = append(b.spans, *s)
 	} else {
 		t.dropped++
+		b.dropped++
 		b.spans[b.head] = *s
 		b.head++
 		if b.head == len(b.spans) {
@@ -256,6 +258,27 @@ func (t *Tracer) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// DroppedBySite reports, per site, spans overwritten by ring wrap — the
+// signal that a site's causal chains may be incomplete. Sites with no drops
+// are omitted; the map is freshly allocated.
+func (t *Tracer) DroppedBySite() map[string]uint64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out map[string]uint64
+	for _, site := range t.order {
+		if b := t.sites[site]; b.dropped > 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[site] = b.dropped
+		}
+	}
+	return out
 }
 
 // Len reports spans currently held across all rings.
