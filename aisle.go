@@ -35,6 +35,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/obs"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
@@ -143,6 +144,28 @@ type (
 	HealthAttribution = obs.AttributionStats
 	// HealthFaultWindow is one applied fault window as the linker sees it.
 	HealthFaultWindow = obs.FaultWindow
+)
+
+// Observability: the continuous spine profiler. Enable with Config.Prof
+// (Enabled: true); the assembled Network.Prof then attributes virtual time,
+// wall time, and allocations to the federation's hot call-sites (sim event
+// loop, netsim delivery, bus dispatch, scheduler routing and stealing,
+// telemetry recording, knowledge merging, campaign decisions) through
+// instrumented regions, and keeps deterministic per-site ring aggregates
+// with trace-ID exemplars. Snapshot() is byte-stable across identical
+// seeded runs; WriteFolded emits pprof-style folded stacks. The zero
+// ProfOptions keeps every region at a single pointer test.
+type (
+	// ProfOptions tunes the profiler via Config.Prof.
+	ProfOptions = prof.Options
+	// Profiler is the assembled spine profiler (Network.Prof).
+	Profiler = prof.Profiler
+	// ProfSite identifies one instrumented call-site.
+	ProfSite = prof.Site
+	// ProfSiteCount is one site's aggregate counters.
+	ProfSiteCount = prof.SiteCount
+	// Profile is one deterministic profiler snapshot.
+	Profile = prof.Profile
 )
 
 // DefaultSLOs is the stock federation health policy: completion rate,

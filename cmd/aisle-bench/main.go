@@ -4,9 +4,17 @@
 // Usage:
 //
 //	aisle-bench [-quick] [-seed N] [-replicas N] [-list] [experiment IDs...]
+//	aisle-bench -gpbench|-tracebench|-chaosbench|-obsbench|-profile
+//	aisle-bench -diff old.json new.json
 //
 // With no IDs, every experiment runs in order. Results print as aligned
 // text tables, one per claim, matching EXPERIMENTS.md.
+//
+// The recorder flags regenerate the checked-in BENCH_*.json artifacts,
+// all under the unified aisle/bench/v2 schema (internal/bench). -diff
+// judges a fresh artifact against a checked-in baseline metric by
+// metric using the baseline's own noise bounds, and exits nonzero when
+// anything regressed — the CI perf gate.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/aisle-sim/aisle/internal/bench"
 	"github.com/aisle-sim/aisle/internal/experiments"
 )
 
@@ -32,6 +41,9 @@ func main() {
 	chaosout := flag.String("chaosout", "BENCH_chaos.json", "with -chaosbench, the report path")
 	obsbench := flag.Bool("obsbench", false, "benchmark health-engine overhead and attribution determinism and record BENCH_obs.json")
 	obsout := flag.String("obsout", "BENCH_obs.json", "with -obsbench, the report path")
+	profile := flag.Bool("profile", false, "benchmark continuous-profiler overhead and attribution on the scheduler macro and record BENCH_profile.json")
+	profout := flag.String("profout", "BENCH_profile.json", "with -profile, the report path (folded stacks land next to it)")
+	diff := flag.Bool("diff", false, "compare two bench artifacts: aisle-bench -diff old.json new.json")
 	flag.Parse()
 
 	if *list {
@@ -68,6 +80,20 @@ func main() {
 		}
 		return
 	}
+	if *profile {
+		if err := runProfileBench(*profout); err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diff {
+		if err := runDiff(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "aisle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Replicas: *replicas}
 	ids := flag.Args()
@@ -87,4 +113,29 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %.1fs wall]\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+// runDiff loads two artifacts, judges new against old, prints the table,
+// and errors when any gated metric regressed beyond its noise bounds.
+func runDiff(paths []string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-diff wants exactly two paths (old.json new.json), got %d", len(paths))
+	}
+	old, err := bench.Load(paths[0])
+	if err != nil {
+		return err
+	}
+	cur, err := bench.Load(paths[1])
+	if err != nil {
+		return err
+	}
+	d, err := bench.Diff(old, cur)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.Render())
+	if d.Failed() {
+		return fmt.Errorf("%d metric(s) regressed beyond their noise bounds", d.Regressions)
+	}
+	return nil
 }

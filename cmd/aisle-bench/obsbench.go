@@ -2,12 +2,11 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
+	"github.com/aisle-sim/aisle/internal/bench"
 	"github.com/aisle-sim/aisle/internal/experiments"
 	"github.com/aisle-sim/aisle/internal/obs"
 	"github.com/aisle-sim/aisle/internal/sim"
@@ -15,11 +14,11 @@ import (
 
 // obsModeResult is one health-engine mode's measurement in BENCH_obs.json.
 type obsModeResult struct {
-	NsPerOp          int64   `json:"ns_per_op"`
-	BytesPerOp       int64   `json:"bytes_per_op"`
-	AllocsPerOp      int64   `json:"allocs_per_op"`
-	VirtualMakespanS float64 `json:"virtual_makespan_s"`
-	Samples          int     `json:"slo_samples,omitempty"`
+	NsPerOp          int64
+	BytesPerOp       int64
+	AllocsPerOp      int64
+	VirtualMakespanS float64
+	Samples          int
 }
 
 // Health-engine benchmark workloads: the overhead probe reuses the
@@ -77,33 +76,56 @@ func runObsBench(outPath string) error {
 			overhead["allocs_pct"], obsMaxAllocOverheadPct)
 	}
 
-	chaosRep, err := runObsChaosProbe()
+	probe, err := runObsChaosProbe()
 	if err != nil {
 		return err
 	}
 
-	report := map[string]any{
-		"schema": "aisle/bench-obs/v1",
-		"workload": map[string]any{
-			"campaigns": macroCamps, "budget": macroBudget,
-			"parallelism": 4, "iters": obsBenchIters,
-			"chaos_seed": obsChaosSeed, "chaos_jobs": obsChaosJobs,
-			"chaos_horizon_s": obsChaosHorizon.Seconds(),
-		},
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"disabled":   dis,
-		"enabled":    en,
-		"overhead":   overhead,
-		"chaos":      chaosRep,
+	report := newReport("obs", map[string]float64{
+		"campaigns": macroCamps, "budget": macroBudget,
+		"parallelism": 4, "iters": obsBenchIters,
+		"chaos_seed": obsChaosSeed, "chaos_jobs": obsChaosJobs,
+		"chaos_horizon_s": obsChaosHorizon.Seconds(),
+	})
+	for _, m := range modes {
+		r := results[m.name]
+		g := report.AddGroup(m.name, "").
+			Add(nsMetric(r.NsPerOp)).
+			Add(bytesMetric(r.BytesPerOp)).
+			Add(allocsMetric(r.AllocsPerOp)).
+			Add(makespanMetric(r.VirtualMakespanS))
+		if m.opts.Enabled {
+			g.Add(exactMetric("slo_samples", float64(r.Samples)))
+		}
 	}
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	report.AddGroup("overhead", "enabled vs disabled").
+		Add(infoMetric("wall_pct", "%", overhead["wall_pct"])).
+		Add(infoMetric("allocs_pct", "%", overhead["allocs_pct"]))
+	report.AddGroup("chaos", "15% intensity, self-healing, health on; byte-determinism enforced before writing").
+		Add(bench.Metric{Name: "completion_rate", Value: probe.res.CompletionRate,
+			Better: bench.Higher, AbsNoise: 0.02}).
+		Add(exactMetric("injections", float64(probe.res.Injections))).
+		Add(exactMetric("degraded_jobs", float64(probe.att.DegradedJobs))).
+		Add(exactMetric("attributed_jobs", float64(probe.att.AttributedJobs))).
+		Add(bench.Metric{Name: "attribution_coverage", Value: probe.att.Coverage,
+			Better: bench.Higher, AbsNoise: 0.01}).
+		Add(exactMetric("incidents", float64(probe.incidents))).
+		Add(exactMetric("snapshots", float64(probe.snapshots))).
+		Add(exactMetric("alerts", float64(probe.alerts))).
+		Add(exactMetric("snapshot_bytes", float64(probe.snapshotBytes))).
+		Add(exactMetric("incident_bytes", float64(probe.incidentBytes)))
+	sp := probe.spine
+	report.AddGroup("spine", "per-subsystem event totals from the chaos probe").
+		Add(exactMetric("sim_events", float64(sp.SimEvents))).
+		Add(exactMetric("net_delivered", float64(sp.NetDelivered))).
+		Add(exactMetric("bus_delivered", float64(sp.BusDelivered))).
+		Add(exactMetric("sched_dispatched", float64(sp.SchedDispatched))).
+		Add(exactMetric("knowledge_merged", float64(sp.KnowledgeMerged))).
+		Add(exactMetric("spans_held", float64(sp.SpansHeld))).
+		Add(exactMetric("spans_dropped", float64(sp.SpansDropped)))
+	if err := writeReport(report, outPath); err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", outPath)
 	for _, m := range modes {
 		r := results[m.name]
 		fmt.Printf("  %-9s %12d ns/op %12d B/op %10d allocs/op  makespan %.0fs  samples %d\n",
@@ -112,8 +134,7 @@ func runObsBench(outPath string) error {
 	fmt.Printf("  overhead  wall %+.2f%%  allocs %+.2f%%  virtual makespan +0%% (bit-exact)\n",
 		overhead["wall_pct"], overhead["allocs_pct"])
 	fmt.Printf("  chaos     coverage %.1f%%  incidents %d  snapshots %d  alerts %d  (byte-identical across reruns)\n",
-		chaosRep["attribution_coverage"].(float64)*100, chaosRep["incidents"],
-		chaosRep["snapshots"], chaosRep["alerts"])
+		probe.att.Coverage*100, probe.incidents, probe.snapshots, probe.alerts)
 	return nil
 }
 
@@ -163,11 +184,20 @@ func runObsMacroOnce(seed uint64, opts obs.Options) (experiments.SaturationResul
 	})
 }
 
+// obsChaosProbe is the distilled outcome of the determinism probe.
+type obsChaosProbe struct {
+	res                          experiments.ChaosResult
+	att                          obs.AttributionStats
+	spine                        obs.SpineProfile
+	incidents, snapshots, alerts int
+	snapshotBytes, incidentBytes int
+}
+
 // runObsChaosProbe runs the 15%-intensity self-healing chaos cell twice at
 // the same seed with the health engine on, asserts the flight-recorder
 // snapshots and incident reports serialize byte-identically, and checks the
 // attribution-coverage floor.
-func runObsChaosProbe() (map[string]any, error) {
+func runObsChaosProbe() (obsChaosProbe, error) {
 	type probe struct {
 		res       experiments.ChaosResult
 		snaps     []byte
@@ -184,44 +214,39 @@ func runObsChaosProbe() (map[string]any, error) {
 			Health:    obs.Options{Enabled: true},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("chaos probe run %d: %w", i, err)
+			return obsChaosProbe{}, fmt.Errorf("chaos probe run %d: %w", i, err)
 		}
 		var sb, ib bytes.Buffer
 		if err := r.Health.WriteSnapshotsJSON(&sb); err != nil {
-			return nil, err
+			return obsChaosProbe{}, err
 		}
 		if err := r.Health.WriteIncidentsJSON(&ib); err != nil {
-			return nil, err
+			return obsChaosProbe{}, err
 		}
 		runs[i] = probe{res: r, snaps: sb.Bytes(), incidents: ib.Bytes()}
 	}
 	if !bytes.Equal(runs[0].snaps, runs[1].snaps) {
-		return nil, fmt.Errorf("flight-recorder snapshots differ across identical runs (%d vs %d bytes)",
+		return obsChaosProbe{}, fmt.Errorf("flight-recorder snapshots differ across identical runs (%d vs %d bytes)",
 			len(runs[0].snaps), len(runs[1].snaps))
 	}
 	if !bytes.Equal(runs[0].incidents, runs[1].incidents) {
-		return nil, fmt.Errorf("incident reports differ across identical runs (%d vs %d bytes)",
+		return obsChaosProbe{}, fmt.Errorf("incident reports differ across identical runs (%d vs %d bytes)",
 			len(runs[0].incidents), len(runs[1].incidents))
 	}
 	att := runs[0].res.Attribution
 	if att.DegradedJobs > 0 && att.Coverage < obsMinCoverage {
-		return nil, fmt.Errorf("attribution coverage %.1f%% below the %.0f%% floor (%d/%d degraded jobs attributed)",
+		return obsChaosProbe{}, fmt.Errorf("attribution coverage %.1f%% below the %.0f%% floor (%d/%d degraded jobs attributed)",
 			att.Coverage*100, obsMinCoverage*100, att.AttributedJobs, att.DegradedJobs)
 	}
 	r := runs[0].res
-	prof := r.Health.Profile()
-	return map[string]any{
-		"completion_rate":      r.CompletionRate,
-		"injections":           r.Injections,
-		"degraded_jobs":        att.DegradedJobs,
-		"attributed_jobs":      att.AttributedJobs,
-		"attribution_coverage": att.Coverage,
-		"incidents":            len(r.Incidents),
-		"snapshots":            len(r.Health.Snapshots()),
-		"alerts":               len(r.Health.Alerts()),
-		"snapshot_bytes":       len(runs[0].snaps),
-		"incident_bytes":       len(runs[0].incidents),
-		"deterministic":        true, // enforced by the byte comparison above
-		"spine_profile":        prof,
+	return obsChaosProbe{
+		res:           r,
+		att:           att,
+		spine:         r.Health.Profile(),
+		incidents:     len(r.Incidents),
+		snapshots:     len(r.Health.Snapshots()),
+		alerts:        len(r.Health.Alerts()),
+		snapshotBytes: len(runs[0].snaps),
+		incidentBytes: len(runs[0].incidents),
 	}, nil
 }

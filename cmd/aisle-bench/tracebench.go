@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -13,12 +11,12 @@ import (
 
 // traceModeResult is one tracing mode's measurement in BENCH_trace.json.
 type traceModeResult struct {
-	NsPerOp          int64   `json:"ns_per_op"`
-	BytesPerOp       int64   `json:"bytes_per_op"`
-	AllocsPerOp      int64   `json:"allocs_per_op"`
-	VirtualMakespanS float64 `json:"virtual_makespan_s"`
-	Spans            int     `json:"spans,omitempty"`
-	Dropped          uint64  `json:"dropped,omitempty"`
+	NsPerOp          int64
+	BytesPerOp       int64
+	AllocsPerOp      int64
+	VirtualMakespanS float64
+	Spans            int
+	Dropped          uint64
 }
 
 // traceBenchIters runs each mode over the same seed sequence so the
@@ -58,25 +56,28 @@ func runTraceBench(outPath string) error {
 		"virtual_makespan_pct": 0, // enforced equal above
 	}
 
-	report := map[string]any{
-		"schema": "aisle/bench-trace/v1",
-		"workload": map[string]int{
-			"campaigns": macroCamps, "budget": macroBudget,
-			"parallelism": 4, "iters": traceBenchIters,
-		},
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"disabled":   dis,
-		"enabled":    en,
-		"overhead":   overhead,
+	report := newReport("trace", map[string]float64{
+		"campaigns": macroCamps, "budget": macroBudget,
+		"parallelism": 4, "iters": traceBenchIters,
+	})
+	for _, m := range modes {
+		r := results[m.name]
+		g := report.AddGroup(m.name, "").
+			Add(nsMetric(r.NsPerOp)).
+			Add(bytesMetric(r.BytesPerOp)).
+			Add(allocsMetric(r.AllocsPerOp)).
+			Add(makespanMetric(r.VirtualMakespanS))
+		if m.opts.Enabled {
+			g.Add(exactMetric("spans", float64(r.Spans))).
+				Add(exactMetric("spans_dropped", float64(r.Dropped)))
+		}
 	}
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	report.AddGroup("overhead", "enabled vs disabled").
+		Add(infoMetric("wall_pct", "%", overhead["wall_pct"])).
+		Add(infoMetric("allocs_pct", "%", overhead["allocs_pct"]))
+	if err := writeReport(report, outPath); err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", outPath)
 	for _, m := range modes {
 		r := results[m.name]
 		fmt.Printf("  %-9s %12d ns/op %12d B/op %10d allocs/op  makespan %.0fs  spans %d\n",

@@ -4,17 +4,22 @@
 // Usage:
 //
 //	aisle-sim -config scenario.json
-//	aisle-sim -example          # print a template scenario and exit
-//	aisle-sim -trace trace.json # also record a Chrome/Perfetto trace
-//	aisle-sim -watch            # health engine + periodic SLO table
+//	aisle-sim -example              # print a template scenario and exit
+//	aisle-sim -trace trace.json     # also record a Chrome/Perfetto trace
+//	aisle-sim -watch                # health engine + periodic SLO table
+//	aisle-sim -profile profile.json # continuous spine profiler
 //
 // The scenario schema (see -example) declares sites, per-site instruments,
 // and one campaign. With -trace the run records every span (sampling 1.0)
 // and writes a chrome://tracing-loadable JSON file plus a critical-path
 // breakdown on stderr; -metrics writes the labeled telemetry snapshot.
 // With -watch the run assembles the federation health engine and renders
-// its SLO burn-rate table to stderr every six virtual hours, plus any
-// alerts that fired, when the run completes.
+// its SLO burn-rate table to stderr every six virtual hours — alongside
+// the live spine counters, and the profiler's per-call-site region counts
+// when -profile is also on — plus any alerts that fired, when the run
+// completes. With -profile the run attributes virtual time per hot
+// call-site and writes the deterministic profile JSON at the given path
+// and flamegraph-ready folded stacks (virtual-time weights) next to it.
 package main
 
 import (
@@ -23,8 +28,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"github.com/aisle-sim/aisle"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/twin"
 )
 
@@ -76,6 +84,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	metricsPath := flag.String("metrics", "", "write a labeled telemetry snapshot JSON file")
 	watch := flag.Bool("watch", false, "enable the health engine and print a periodic SLO table")
+	profilePath := flag.String("profile", "", "enable the spine profiler and write its deterministic profile JSON file")
 	flag.Parse()
 
 	if *example {
@@ -111,6 +120,7 @@ func main() {
 		SharedKnowledge: sc.SharedKnowledge,
 		Trace:           aisle.TraceOptions{Enabled: *tracePath != ""},
 		Health:          aisle.HealthOptions{Enabled: *watch},
+		Prof:            aisle.ProfOptions{Enabled: *profilePath != ""},
 	})
 	defer n.Stop()
 
@@ -168,16 +178,16 @@ func main() {
 			log.Fatal(err)
 		}
 		if *watch {
-			fmt.Fprintf(os.Stderr, "aisle-sim: health at t=%s\n%s",
-				n.Eng.Now(), n.Health.Table().Render())
+			fmt.Fprintf(os.Stderr, "aisle-sim: health at t=%s\n%s%s",
+				n.Eng.Now(), n.Health.Table().Render(), spineLines(n))
 		}
 	}
 	if rep.Err != nil {
 		log.Fatal(rep.Err)
 	}
 	if *watch {
-		fmt.Fprintf(os.Stderr, "aisle-sim: final health at t=%s\n%s",
-			n.Eng.Now(), n.Health.Table().Render())
+		fmt.Fprintf(os.Stderr, "aisle-sim: final health at t=%s\n%s%s",
+			n.Eng.Now(), n.Health.Table().Render(), spineLines(n))
 		for _, a := range n.Health.Alerts() {
 			fmt.Fprintf(os.Stderr, "aisle-sim: alert %s at t=%s: %s\n", a.SLO, a.At, a.Detail)
 		}
@@ -193,6 +203,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, pr.Render())
 		}
 	}
+	if *profilePath != "" {
+		writeProfile(n, *profilePath)
+	}
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
 		if err != nil {
@@ -207,6 +220,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aisle-sim: wrote metrics snapshot to %s\n", *metricsPath)
 	}
 
+	printReport(rep)
+}
+
+// printReport emits the campaign outcome JSON on stdout.
+func printReport(rep *aisle.CampaignReport) {
 	out, _ := json.MarshalIndent(map[string]any{
 		"executed":        rep.Executed,
 		"reused":          rep.Reused,
@@ -220,4 +238,48 @@ func main() {
 		"trace_approval":  rep.ApprovalRate(),
 	}, "", "  ")
 	fmt.Println(string(out))
+}
+
+// spineLines renders the live spine counters for the -watch loop: the
+// health engine's subsystem totals, plus the profiler's per-call-site
+// region and sample counts when -profile wired one in.
+func spineLines(n *aisle.Network) string {
+	var b strings.Builder
+	p := n.Health.Profile()
+	fmt.Fprintf(&b, "spine: sim=%d net=%d/%d bus=%d sched=%d merged=%d spans=%d(-%d)\n",
+		p.SimEvents, p.NetSent, p.NetDelivered, p.BusDelivered,
+		p.SchedDispatched, p.KnowledgeMerged, p.SpansHeld, p.SpansDropped)
+	for _, s := range p.Sites {
+		fmt.Fprintf(&b, "  prof %-16s count=%-8d samples=%-7d virtual=%s\n",
+			s.Site, s.Count, s.Samples, time.Duration(s.VirtualNs))
+	}
+	return b.String()
+}
+
+// writeProfile dumps the profiler's deterministic snapshot and folded
+// stacks (virtual-time weights, so both artifacts reproduce bit-exactly
+// at a fixed seed).
+func writeProfile(n *aisle.Network, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("aisle-sim: writing profile: %v", err)
+	}
+	if err := n.Prof.WriteJSON(f); err != nil {
+		log.Fatalf("aisle-sim: writing profile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("aisle-sim: writing profile: %v", err)
+	}
+	foldedPath := strings.TrimSuffix(path, ".json") + ".folded"
+	ff, err := os.Create(foldedPath)
+	if err != nil {
+		log.Fatalf("aisle-sim: writing folded stacks: %v", err)
+	}
+	if err := n.Prof.WriteFolded(ff, prof.WeightVirtual); err != nil {
+		log.Fatalf("aisle-sim: writing folded stacks: %v", err)
+	}
+	if err := ff.Close(); err != nil {
+		log.Fatalf("aisle-sim: writing folded stacks: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "aisle-sim: wrote profile to %s and folded stacks to %s\n", path, foldedPath)
 }

@@ -1,0 +1,181 @@
+// Package bench is the unified schema behind every checked-in BENCH_*.json
+// artifact and the aisle-bench recorders that write them.
+//
+// Before this package each recorder (-gpbench, -tracebench, -chaosbench,
+// -obsbench) invented its own ad-hoc JSON shape, so nothing could compare
+// two artifacts, and "did this PR regress the macro?" was a manual diff.
+// A Report is now a flat, self-describing list of metric groups:
+//
+//	Report{Schema: "aisle/bench/v2", Name: "profile",
+//	    Groups: []Group{{Name: "enabled", Metrics: []Metric{
+//	        {Name: "ns_per_op", Value: 1.7e8, Unit: "ns", Better: Lower, Noise: 0.25},
+//	        {Name: "virtual_makespan_s", Value: 4381.11, Unit: "s", Better: Equal},
+//	    }}}}
+//
+// Every metric carries its own comparison direction (Better) and noise
+// bounds (Noise relative, AbsNoise absolute), so Diff can judge any pair
+// of same-named reports without workload-specific knowledge: wall times
+// tolerate scheduler jitter, virtual makespans must match bit-exactly,
+// counters must not shrink. Write is byte-deterministic (fixed field
+// order, sorted maps, two-space indent, trailing newline), which makes
+// "Load then Write reproduces the checked-in file" a round-trip test and
+// keeps git diffs of regenerated artifacts reviewable.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema is the artifact version every Report written by this package
+// carries. v1 was the per-recorder ad-hoc era; v2 is the unified shape.
+const Schema = "aisle/bench/v2"
+
+// Comparison directions for Metric.Better.
+const (
+	// Lower means smaller is better (wall time, allocations).
+	Lower = "lower"
+	// Higher means larger is better (completion rate, coverage).
+	Higher = "higher"
+	// Equal means the value must reproduce exactly up to AbsNoise —
+	// the direction for determinism gates like virtual makespans.
+	Equal = "equal"
+)
+
+// Metric is one measured value with its own regression policy.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+	// Better is Lower, Higher, or Equal; empty marks the metric
+	// informational and Diff never fails on it.
+	Better string `json:"better,omitempty"`
+	// Noise is the tolerated relative drift (0.25 = 25%) in the worse
+	// direction before Diff declares a regression.
+	Noise float64 `json:"noise,omitempty"`
+	// AbsNoise is the tolerated absolute drift, applied on top of Noise.
+	// An Equal metric with AbsNoise 0 must reproduce bit-exactly.
+	AbsNoise float64 `json:"abs_noise,omitempty"`
+}
+
+// Group is a named set of metrics — a mode ("disabled", "enabled"), an
+// engine generation ("baseline", "current"), or a chaos-matrix cell.
+type Group struct {
+	Name    string   `json:"name"`
+	Note    string   `json:"note,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Report is one BENCH_*.json artifact.
+type Report struct {
+	Schema string `json:"schema"`
+	// Name identifies the suite ("optimize", "trace", "chaos", "obs",
+	// "profile"); Diff refuses to compare reports with different names.
+	Name       string `json:"name"`
+	Machine    string `json:"machine,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	// Workload pins the benchmark shape (campaign counts, budgets,
+	// iteration counts) so a diff across different workloads is visible.
+	Workload map[string]float64 `json:"workload,omitempty"`
+	Groups   []Group            `json:"groups"`
+}
+
+// Group returns the named group, or nil.
+func (r *Report) Group(name string) *Group {
+	for i := range r.Groups {
+		if r.Groups[i].Name == name {
+			return &r.Groups[i]
+		}
+	}
+	return nil
+}
+
+// Metric returns the named metric in this group, or nil.
+func (g *Group) Metric(name string) *Metric {
+	if g == nil {
+		return nil
+	}
+	for i := range g.Metrics {
+		if g.Metrics[i].Name == name {
+			return &g.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Add appends a metric and returns the group for chaining.
+func (g *Group) Add(m Metric) *Group {
+	g.Metrics = append(g.Metrics, m)
+	return g
+}
+
+// AddGroup appends an empty group and returns it for population.
+func (r *Report) AddGroup(name, note string) *Group {
+	r.Groups = append(r.Groups, Group{Name: name, Note: note})
+	return &r.Groups[len(r.Groups)-1]
+}
+
+// normalize sorts what has no semantic order so Write is deterministic
+// regardless of insertion order: groups by name, metrics by name within
+// each group. Workload maps are sorted by encoding/json itself.
+func (r *Report) normalize() {
+	sort.Slice(r.Groups, func(i, j int) bool { return r.Groups[i].Name < r.Groups[j].Name })
+	for i := range r.Groups {
+		ms := r.Groups[i].Metrics
+		sort.Slice(ms, func(a, b int) bool { return ms[a].Name < ms[b].Name })
+	}
+}
+
+// Write emits the canonical byte-deterministic encoding: normalized
+// order, two-space indent, trailing newline.
+func (r *Report) Write(w io.Writer) error {
+	r.Schema = Schema
+	r.normalize()
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// WriteFile writes the canonical encoding to path.
+func (r *Report) WriteFile(path string) error {
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Load reads and validates one artifact. Unknown fields are an error:
+// an artifact that needs more structure should grow the schema, not
+// smuggle shapes Diff cannot see.
+func Load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(raw, path)
+}
+
+// Parse decodes one artifact from raw bytes; name is used in errors.
+func Parse(raw []byte, name string) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", name, r.Schema, Schema)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("bench: %s: missing suite name", name)
+	}
+	return &r, nil
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Report {
+	r := &Report{Name: "sample", GoMaxProcs: 1,
+		Workload: map[string]float64{"campaigns": 200, "budget": 6}}
+	r.AddGroup("enabled", "profiler on").
+		Add(Metric{Name: "ns_per_op", Value: 2e8, Unit: "ns", Better: Lower, Noise: 0.25}).
+		Add(Metric{Name: "virtual_makespan_s", Value: 4381.113353954, Unit: "s", Better: Equal}).
+		Add(Metric{Name: "coverage", Value: 0.97, Better: Higher, AbsNoise: 0.01}).
+		Add(Metric{Name: "spans", Value: 512})
+	r.AddGroup("disabled", "").
+		Add(Metric{Name: "ns_per_op", Value: 1.8e8, Unit: "ns", Better: Lower, Noise: 0.25})
+	return r
+}
+
+func clone(t *testing.T, r *Report) *Report {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(buf.Bytes(), "clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWriteDeterministic: insertion order must not leak into the bytes.
+func TestWriteDeterministic(t *testing.T) {
+	a := sample()
+	b := &Report{Name: "sample", GoMaxProcs: 1,
+		Workload: map[string]float64{"budget": 6, "campaigns": 200}}
+	// Reverse group and metric insertion order.
+	b.AddGroup("disabled", "").
+		Add(Metric{Name: "ns_per_op", Value: 1.8e8, Unit: "ns", Better: Lower, Noise: 0.25})
+	b.AddGroup("enabled", "profiler on").
+		Add(Metric{Name: "spans", Value: 512}).
+		Add(Metric{Name: "coverage", Value: 0.97, Better: Higher, AbsNoise: 0.01}).
+		Add(Metric{Name: "virtual_makespan_s", Value: 4381.113353954, Unit: "s", Better: Equal}).
+		Add(Metric{Name: "ns_per_op", Value: 2e8, Unit: "ns", Better: Lower, Noise: 0.25})
+	var ba, bb bytes.Buffer
+	if err := a.Write(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("insertion order changed the encoding:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+}
+
+// TestRoundTripCheckedInArtifacts: every BENCH_*.json in the repo root
+// must load under the unified schema and re-encode byte-identically —
+// the proof each artifact was written by this package's canonical Write.
+func TestRoundTripCheckedInArtifacts(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checked-in BENCH_*.json artifacts found")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Parse(raw, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := r.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, buf.Bytes()) {
+				t.Fatalf("%s does not round-trip through the canonical encoder; regenerate it with aisle-bench", f)
+			}
+		})
+	}
+}
+
+// TestDiffIdenticalPasses: a report diffed against itself is all-ok.
+func TestDiffIdenticalPasses(t *testing.T) {
+	old := sample()
+	d, err := Diff(old, clone(t, old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Failed() {
+		t.Fatalf("identical reports failed the diff:\n%s", d.Render())
+	}
+	for _, dl := range d.Deltas {
+		if dl.Status != StatusOK {
+			t.Fatalf("identical metric %s/%s judged %s", dl.Group, dl.Metric, dl.Status)
+		}
+	}
+}
+
+// TestDiffFlagsSyntheticRegression: drift beyond the declared noise
+// bound fails, drift within it passes.
+func TestDiffFlagsSyntheticRegression(t *testing.T) {
+	old := sample()
+	// +30% wall time against a 25% noise bound: regression.
+	worse := clone(t, old)
+	worse.Group("enabled").Metric("ns_per_op").Value = 2e8 * 1.30
+	d, err := Diff(old, worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Failed() {
+		t.Fatalf("30%% wall regression passed a 25%% bound:\n%s", d.Render())
+	}
+	// +20% stays inside the bound.
+	within := clone(t, old)
+	within.Group("enabled").Metric("ns_per_op").Value = 2e8 * 1.20
+	if d, err = Diff(old, within); err != nil || d.Failed() {
+		t.Fatalf("20%% drift failed a 25%% bound (err %v):\n%s", err, d.Render())
+	}
+	// -30% is an improvement, not a failure.
+	better := clone(t, old)
+	better.Group("enabled").Metric("ns_per_op").Value = 2e8 * 0.70
+	d, err = Diff(old, better)
+	if err != nil || d.Failed() {
+		t.Fatalf("improvement failed the diff (err %v):\n%s", err, d.Render())
+	}
+	found := false
+	for _, dl := range d.Deltas {
+		if dl.Metric == "ns_per_op" && dl.Group == "enabled" {
+			found = dl.Status == StatusImproved
+		}
+	}
+	if !found {
+		t.Fatalf("-30%% not judged improved:\n%s", d.Render())
+	}
+}
+
+// TestDiffEqualMetricIsExact: Better=equal with AbsNoise 0 is a
+// bit-exactness gate — any drift at all regresses.
+func TestDiffEqualMetricIsExact(t *testing.T) {
+	old := sample()
+	drift := clone(t, old)
+	drift.Group("enabled").Metric("virtual_makespan_s").Value += 1e-9
+	d, err := Diff(old, drift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Failed() {
+		t.Fatalf("1ns virtual drift passed an exactness gate:\n%s", d.Render())
+	}
+}
+
+// TestDiffRemovedGateFails: silently dropping a gated metric is a
+// regression; dropping an informational one is not.
+func TestDiffRemovedGateFails(t *testing.T) {
+	old := sample()
+	stripped := clone(t, old)
+	g := stripped.Group("enabled")
+	kept := g.Metrics[:0]
+	for _, m := range g.Metrics {
+		if m.Name != "coverage" && m.Name != "spans" {
+			kept = append(kept, m)
+		}
+	}
+	g.Metrics = kept
+	d, err := Diff(old, stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("want exactly the gated removal flagged, got %d:\n%s", d.Regressions, d.Render())
+	}
+}
+
+// TestDiffHigherBetter: the Higher direction regresses downward only.
+func TestDiffHigherBetter(t *testing.T) {
+	old := sample()
+	worse := clone(t, old)
+	worse.Group("enabled").Metric("coverage").Value = 0.90 // 0.97 - 0.01 abs bound
+	if d, _ := Diff(old, worse); !d.Failed() {
+		t.Fatalf("coverage drop passed:\n%s", d.Render())
+	}
+	better := clone(t, old)
+	better.Group("enabled").Metric("coverage").Value = 1.0
+	if d, _ := Diff(old, better); d.Failed() {
+		t.Fatalf("coverage gain failed:\n%s", d.Render())
+	}
+}
+
+// TestDiffRejectsMismatchedSuites: comparing different suites is an
+// error, not a quiet empty diff.
+func TestDiffRejectsMismatchedSuites(t *testing.T) {
+	a := sample()
+	b := clone(t, a)
+	b.Name = "other"
+	if _, err := Diff(a, b); err == nil {
+		t.Fatal("mismatched suites diffed without error")
+	}
+}
+
+// TestParseRejectsForeignShapes: unknown fields and wrong schemas fail
+// loudly instead of decoding to half-empty reports.
+func TestParseRejectsForeignShapes(t *testing.T) {
+	if _, err := Parse([]byte(`{"schema":"aisle/bench-obs/v1","name":"obs","groups":[]}`), "x"); err == nil {
+		t.Fatal("v1 schema accepted")
+	}
+	if _, err := Parse([]byte(`{"schema":"aisle/bench/v2","name":"x","groups":[],"extra":1}`), "x"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`{"schema":"aisle/bench/v2","groups":[]}`), "x"); err == nil {
+		t.Fatal("missing suite name accepted")
+	}
+}
+
+// TestRenderVerdictLines: the rendered table ends in PASS/FAIL so CI
+// logs are greppable.
+func TestRenderVerdictLines(t *testing.T) {
+	old := sample()
+	d, err := Diff(old, clone(t, old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Render(); !bytes.Contains([]byte(got), []byte("PASS:")) {
+		t.Fatalf("no PASS verdict in:\n%s", got)
+	}
+	worse := clone(t, old)
+	worse.Group("enabled").Metric("ns_per_op").Value = math.Inf(1)
+	d, err = Diff(old, worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Render(); !bytes.Contains([]byte(got), []byte("FAIL:")) {
+		t.Fatalf("no FAIL verdict in:\n%s", got)
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Delta statuses, worst first.
+const (
+	// StatusRegressed marks a metric outside its noise bound in the
+	// worse direction — the one status that fails the diff.
+	StatusRegressed = "regressed"
+	// StatusRemoved marks a gated metric present in old but absent in
+	// new; losing a gate silently is treated as a regression.
+	StatusRemoved = "removed"
+	// StatusImproved marks a metric outside its noise bound in the
+	// better direction.
+	StatusImproved = "improved"
+	// StatusAdded marks a metric only the new report has.
+	StatusAdded = "added"
+	// StatusOK marks a metric within its noise bound.
+	StatusOK = "ok"
+)
+
+// Delta is one metric's old-vs-new judgement.
+type Delta struct {
+	Group  string  `json:"group"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Pct is the relative change in percent (0 when Old == 0).
+	Pct    float64 `json:"pct"`
+	Status string  `json:"status"`
+	// Bound restates the tolerance the judgement used, for the report.
+	Bound string `json:"bound,omitempty"`
+}
+
+// DiffReport is the full judgement of new against old.
+type DiffReport struct {
+	Suite  string  `json:"suite"`
+	Deltas []Delta `json:"deltas"`
+	// Regressions counts deltas with StatusRegressed or StatusRemoved.
+	Regressions int `json:"regressions"`
+}
+
+// Failed reports whether any gated metric regressed or disappeared.
+func (d *DiffReport) Failed() bool { return d.Regressions > 0 }
+
+// Diff judges new against old metric by metric, using each metric's own
+// comparison direction and noise bounds as declared in the OLD report —
+// the checked-in baseline owns the gate, so a PR cannot loosen a bound
+// in the same artifact it regresses. Reports must be the same suite.
+func Diff(old, new *Report) (*DiffReport, error) {
+	if old.Name != new.Name {
+		return nil, fmt.Errorf("bench: diffing different suites: %q vs %q", old.Name, new.Name)
+	}
+	d := &DiffReport{Suite: old.Name}
+	for _, og := range old.Groups {
+		ng := new.Group(og.Name)
+		for _, om := range og.Metrics {
+			nm := ng.Metric(om.Name)
+			if nm == nil {
+				st := StatusRemoved
+				if om.Better == "" {
+					st = StatusOK // informational metrics may come and go
+				}
+				d.add(Delta{Group: og.Name, Metric: om.Name, Old: om.Value,
+					New: math.NaN(), Status: st})
+				continue
+			}
+			d.add(judge(og.Name, om, nm.Value))
+		}
+	}
+	for _, ng := range new.Groups {
+		og := old.Group(ng.Name)
+		for _, nm := range ng.Metrics {
+			if og.Metric(nm.Name) == nil {
+				d.add(Delta{Group: ng.Name, Metric: nm.Name, Old: math.NaN(),
+					New: nm.Value, Status: StatusAdded})
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *DiffReport) add(delta Delta) {
+	d.Deltas = append(d.Deltas, delta)
+	if delta.Status == StatusRegressed || delta.Status == StatusRemoved {
+		d.Regressions++
+	}
+}
+
+// judge compares one new value against the old metric's declared policy.
+func judge(group string, om Metric, nv float64) Delta {
+	delta := Delta{Group: group, Metric: om.Name, Old: om.Value, New: nv}
+	if om.Value != 0 {
+		delta.Pct = 100 * (nv - om.Value) / math.Abs(om.Value)
+	}
+	if om.Better != "" {
+		delta.Bound = fmt.Sprintf("%s ±%.0f%%+%g", om.Better, om.Noise*100, om.AbsNoise)
+	}
+	slack := om.Noise*math.Abs(om.Value) + om.AbsNoise
+	switch om.Better {
+	case Lower:
+		switch {
+		case nv > om.Value+slack:
+			delta.Status = StatusRegressed
+		case nv < om.Value-slack:
+			delta.Status = StatusImproved
+		default:
+			delta.Status = StatusOK
+		}
+	case Higher:
+		switch {
+		case nv < om.Value-slack:
+			delta.Status = StatusRegressed
+		case nv > om.Value+slack:
+			delta.Status = StatusImproved
+		default:
+			delta.Status = StatusOK
+		}
+	case Equal:
+		if math.Abs(nv-om.Value) > om.AbsNoise {
+			delta.Status = StatusRegressed
+		} else {
+			delta.Status = StatusOK
+		}
+	default:
+		delta.Status = StatusOK
+	}
+	return delta
+}
+
+// Render formats the judgement as an aligned table with a verdict line,
+// regressions first so CI logs lead with what failed.
+func (d *DiffReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench diff: suite %s\n", d.Suite)
+	order := []string{StatusRegressed, StatusRemoved, StatusImproved, StatusAdded, StatusOK}
+	for _, want := range order {
+		for _, dl := range d.Deltas {
+			if dl.Status != want {
+				continue
+			}
+			switch dl.Status {
+			case StatusRemoved:
+				fmt.Fprintf(&b, "  %-9s %s/%s (was %g)\n", dl.Status, dl.Group, dl.Metric, dl.Old)
+			case StatusAdded:
+				fmt.Fprintf(&b, "  %-9s %s/%s = %g\n", dl.Status, dl.Group, dl.Metric, dl.New)
+			default:
+				fmt.Fprintf(&b, "  %-9s %s/%s  %g -> %g (%+.2f%%)", dl.Status, dl.Group, dl.Metric,
+					dl.Old, dl.New, dl.Pct)
+				if dl.Bound != "" {
+					fmt.Fprintf(&b, "  [%s]", dl.Bound)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	if d.Failed() {
+		fmt.Fprintf(&b, "FAIL: %d metric(s) regressed beyond their noise bounds\n", d.Regressions)
+	} else {
+		fmt.Fprintf(&b, "PASS: %d metric(s) within bounds\n", len(d.Deltas))
+	}
+	return b.String()
+}

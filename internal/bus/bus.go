@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
 	"github.com/aisle-sim/aisle/internal/trace"
@@ -91,6 +92,7 @@ type Fabric struct {
 	brokers map[netsim.SiteID]*Broker
 	nextID  uint64
 	mw      []Middleware
+	prof    *prof.Profiler
 
 	// pub/sub state shared across sites.
 	topicSubs   map[string][]subscriberRef
@@ -120,6 +122,12 @@ func NewFabric(net *netsim.Network) *Fabric {
 
 // Metrics exposes bus telemetry.
 func (f *Fabric) Metrics() *telemetry.Registry { return f.metrics }
+
+// SetProfiler attaches the spine profiler (nil disables, the default).
+// Broker-side envelope dispatch runs under bus.dispatch, and each completed
+// RPC records its virtual latency as a bus.dispatch sample carrying the
+// call's trace ID as exemplar.
+func (f *Fabric) SetProfiler(p *prof.Profiler) { f.prof = p }
 
 // Engine exposes the simulation engine.
 func (f *Fabric) Engine() *sim.Engine { return f.eng }
@@ -229,6 +237,8 @@ func (b *Broker) Endpoints() []string {
 
 // deliver dispatches an inbound envelope: middleware first, then per-kind.
 func (b *Broker) deliver(env *Envelope) {
+	r := b.fabric.prof.Enter(prof.SiteBusDispatch)
+	defer r.End()
 	m := b.fabric.metrics
 	m.Counter("bus.delivered").Inc()
 	for _, mw := range b.fabric.mw {
@@ -310,6 +320,7 @@ type pendingCall struct {
 	fabric  *Fabric
 	started sim.Time
 	retries int
+	trace   uint64 // trace ID for the completion's profiler exemplar
 }
 
 func (pc *pendingCall) complete(result any, err error) {
@@ -320,7 +331,9 @@ func (pc *pendingCall) complete(result any, err error) {
 	if pc.timer != nil {
 		pc.fabric.eng.Cancel(pc.timer)
 	}
-	lat := (pc.fabric.eng.Now() - pc.started).Seconds()
+	wait := pc.fabric.eng.Now() - pc.started
+	pc.fabric.prof.Sample(prof.SiteBusDispatch, wait.Std(), pc.trace)
+	lat := wait.Seconds()
 	pc.fabric.metrics.Histogram("bus.rpc.latency_s").Observe(lat)
 	if err != nil {
 		pc.fabric.metrics.Counter("bus.rpc.failures").Inc()
@@ -368,7 +381,7 @@ func (f *Fabric) Call(opts CallOpts, cb func(result any, err error)) {
 		caller.pending = make(map[uint64]*pendingCall)
 	}
 
-	pc := &pendingCall{cb: cb, fabric: f, started: f.eng.Now()}
+	pc := &pendingCall{cb: cb, fabric: f, started: f.eng.Now(), trace: opts.Trace.TraceID()}
 
 	var attempt func(n int)
 	attempt = func(n int) {

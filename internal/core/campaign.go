@@ -10,6 +10,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/optimize"
 	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
@@ -280,7 +281,9 @@ func (c *campaign) step() {
 		return
 	}
 
+	ar := c.n.Prof.Enter(prof.SiteCoreDecide)
 	intended := c.opt.Ask()
+	ar.End()
 
 	// Knowledge reuse: skip experiments the federation already ran. A
 	// reuse costs a catalog lookup, not an experiment.
@@ -299,6 +302,8 @@ func (c *campaign) step() {
 // report accounting (latency, repairs, traces, approvals). Shared by the
 // serial and batched paths.
 func (c *campaign) decide(intended param.Point, et *expTrace) llm.Proposal {
+	r := c.n.Prof.Enter(prof.SiteCoreDecide)
+	defer r.End()
 	var prop llm.Proposal
 	goal := fmt.Sprintf("maximize %s of %s", c.cfg.Model.Objective(), c.cfg.Model.Name())
 	if c.human != nil {

@@ -21,6 +21,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/knowledge"
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/obs"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/security"
@@ -56,6 +57,11 @@ type Config struct {
 	// incident root-cause linking. The zero value keeps it off: the
 	// network's Health stays nil and the scheduler observer is never wired.
 	Health obs.Options
+	// Prof enables the continuous spine profiler: instrumented regions in
+	// the sim loop, netsim, bus, scheduler, telemetry, knowledge, and the
+	// campaign decision path. The zero value keeps it off: the network's
+	// Prof stays nil and every region costs a pointer test.
+	Prof prof.Options
 }
 
 // DefaultLink is a realistic lab-to-lab WAN link: 15 ms propagation, 1 ms
@@ -106,6 +112,9 @@ type Network struct {
 	// Health is the federation health engine when Config.Health enables
 	// it; nil (the default) keeps every hook on its zero-cost path.
 	Health *obs.Engine
+	// Prof is the spine profiler when Config.Prof enables it; nil (the
+	// default) keeps every instrumented region on its zero-cost path.
+	Prof *prof.Profiler
 
 	sites map[netsim.SiteID]*Site
 }
@@ -163,7 +172,23 @@ func New(cfg Config) *Network {
 		Workflows: workflow.NewEngine(eng),
 		Metrics:   telemetry.NewRegistry(),
 		Tracer:    trace.New(cfg.Trace),
+		Prof:      prof.New(cfg.Prof),
 		sites:     make(map[netsim.SiteID]*Site),
+	}
+
+	// Spine profiler: thread the instrumented regions through every hot
+	// subsystem. The profiler only reads the virtual clock and accumulates
+	// into its own state, so the trajectory stays bit-identical.
+	if n.Prof != nil {
+		n.Prof.SetClock(func() int64 { return int64(eng.Now()) })
+		eng.Prof = n.Prof
+		net.SetProfiler(n.Prof)
+		fab.SetProfiler(n.Prof)
+		know.SetProfiler(n.Prof)
+		n.Metrics.SetProfiler(n.Prof)
+		net.Metrics().SetProfiler(n.Prof)
+		fab.Metrics().SetProfiler(n.Prof)
+		know.Metrics().SetProfiler(n.Prof)
 	}
 
 	for _, id := range cfg.Sites {
@@ -190,6 +215,7 @@ func New(cfg Config) *Network {
 	// fleet; bindings give it each site's directory view, local fleet
 	// state, and service credential.
 	n.Sched = sched.New(eng, net, fab, n.Metrics, rnd.Fork("sched"), cfg.Sched)
+	n.Sched.Prof = n.Prof
 	for _, id := range cfg.Sites {
 		s := n.sites[id]
 		n.Sched.AddSite(sched.SiteBinding{
@@ -223,6 +249,8 @@ func New(cfg Config) *Network {
 		n.Health.Watch("bus", fab.Metrics())
 		n.Health.Watch("knowledge", know.Metrics())
 		n.Health.WatchTracer(n.Tracer)
+		n.Health.WatchProfiler(n.Prof)
+		n.Health.ExportTo(n.Metrics)
 		n.Sched.Observer = n.Health.ObserveDecision
 		n.Health.Start()
 	}

@@ -21,6 +21,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/llm"
 	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
 )
@@ -78,11 +79,13 @@ func (c *campaign) inflightPoints() []param.Point {
 // before drawing again.
 func (c *campaign) nextPoint() (param.Point, bool) {
 	var p param.Point
+	r := c.n.Prof.Enter(prof.SiteCoreDecide)
 	if fly := c.inflightPoints(); len(fly) > 0 {
 		p = c.opt.AskBatch(1, fly)[0]
 	} else {
 		p = c.opt.Ask()
 	}
+	r.End()
 	if c.tryReuse(p) {
 		return nil, false
 	}

@@ -6,6 +6,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/core"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/obs"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
 	"github.com/aisle-sim/aisle/internal/trace"
@@ -29,6 +30,9 @@ type SaturationSpec struct {
 	// Health enables the federation health engine for the run; the zero
 	// value keeps every health hook on its zero-cost path.
 	Health obs.Options
+	// Prof enables the continuous spine profiler for the run; the zero
+	// value keeps every instrumented region at one pointer test.
+	Prof prof.Options
 }
 
 // SaturationResult reports a completed saturation run in virtual time.
@@ -43,6 +47,8 @@ type SaturationResult struct {
 	Metrics *telemetry.Registry
 	// Health is the run's health engine when Spec.Health enabled it.
 	Health *obs.Engine
+	// Prof is the run's spine profiler when Spec.Prof enabled it.
+	Prof *prof.Profiler
 }
 
 // RunSaturation drives the spec to completion and returns the virtual
@@ -54,7 +60,7 @@ func RunSaturation(spec SaturationSpec) (SaturationResult, error) {
 	}
 	sites := siteNames(spec.Sites)
 	n := core.New(core.Config{Seed: spec.Seed, Sites: sites, Link: core.DefaultLink(),
-		Trace: spec.Trace, Health: spec.Health})
+		Trace: spec.Trace, Health: spec.Health, Prof: spec.Prof})
 	defer n.Stop()
 	for _, id := range sites {
 		s := n.Site(id)
@@ -67,7 +73,7 @@ func RunSaturation(spec SaturationSpec) (SaturationResult, error) {
 		return SaturationResult{}, err
 	}
 	res := SaturationResult{Start: n.Eng.Now(), Finish: n.Eng.Now(),
-		Tracer: n.Tracer, Metrics: n.Metrics, Health: n.Health}
+		Tracer: n.Tracer, Metrics: n.Metrics, Health: n.Health, Prof: n.Prof}
 	var failure error
 	for c := 0; c < spec.Campaigns; c++ {
 		n.RunCampaign(core.CampaignConfig{

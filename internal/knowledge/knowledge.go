@@ -14,6 +14,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/bus"
 	"github.com/aisle-sim/aisle/internal/netsim"
 	"github.com/aisle-sim/aisle/internal/param"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
 	"github.com/aisle-sim/aisle/internal/trace"
@@ -107,6 +108,7 @@ type Federation struct {
 	metrics *telemetry.Registry
 	syncLag *telemetry.Histogram // knowledge.sync_lag_s: publish -> merge
 	bases   map[netsim.SiteID]*Base
+	prof    *prof.Profiler
 
 	// Shared: when false, Add stays site-local (the E3 isolated baseline).
 	Shared bool
@@ -162,8 +164,12 @@ func NewFederation(fabric *bus.Fabric, sites []netsim.SiteID, shared bool) *Fede
 						}
 						// Publish -> merge lag, the SLO engine's sync-health
 						// signal; retransmissions under loss stretch it.
-						f.syncLag.Observe((f.eng.Now() - ins.At).Seconds())
+						lag := f.eng.Now() - ins.At
+						f.syncLag.Observe(lag.Seconds())
+						r := f.prof.Enter(prof.SiteKnowledgeMerge)
+						f.prof.Sample(prof.SiteKnowledgeMerge, lag.Std(), ins.Trace.TraceID())
 						b.merge(ins)
+						r.End()
 					}
 				})
 		}
@@ -226,6 +232,11 @@ func (b *Base) Quarantined() []Insight {
 
 // Metrics exposes federation telemetry.
 func (f *Federation) Metrics() *telemetry.Registry { return f.metrics }
+
+// SetProfiler attaches the spine profiler (nil disables, the default).
+// Each receiving site's vector-clock fold runs under knowledge.merge, with
+// the publish->merge sync lag sampled against the insight's trace ID.
+func (f *Federation) SetProfiler(p *prof.Profiler) { f.prof = p }
 
 // Base returns the knowledge base at a site.
 func (f *Federation) Base(site netsim.SiteID) *Base { return f.bases[site] }

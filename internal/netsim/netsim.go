@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
@@ -108,6 +109,7 @@ type Network struct {
 	sites   map[SiteID]*Site
 	links   map[linkKey]*Link
 	metrics *telemetry.Registry
+	prof    *prof.Profiler
 
 	// DropInFlight re-checks the link at the arrival instant: a message
 	// accepted while the link was up is dropped if the link went down while
@@ -137,6 +139,12 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // Metrics exposes the network's telemetry registry.
 func (n *Network) Metrics() *telemetry.Registry { return n.metrics }
+
+// SetProfiler attaches the spine profiler (nil disables, the default).
+// Send admission runs under net.send; arrivals run under net.deliver, and
+// every admitted hop records its modeled delay as a net.deliver sample
+// carrying the message's trace ID as exemplar.
+func (n *Network) SetProfiler(p *prof.Profiler) { n.prof = p }
 
 // AddSite registers a site. Adding a duplicate ID panics: topology is
 // program-defined, so a duplicate is a programming error.
@@ -229,6 +237,8 @@ type Message struct {
 // is accepted and then dropped, exactly as a WAN behaves — callers recover
 // with timeouts and retries.
 func (n *Network) Send(msg Message, deliver func(Message)) error {
+	r := n.prof.Enter(prof.SiteNetSend)
+	defer r.End()
 	src, ok := n.sites[msg.From]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSite, msg.From)
@@ -283,6 +293,8 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 // whose link dropped while it was on the wire is discarded, and the
 // DeliverHook (if any) observes whatever actually lands.
 func (n *Network) arrive(msg Message, deliver func(Message)) {
+	r := n.prof.Enter(prof.SiteNetDeliver)
+	defer r.End()
 	if n.DropInFlight && msg.From != msg.To {
 		if l := n.LinkBetween(msg.From, msg.To); l == nil || !l.up {
 			n.metrics.Counter("net.inflight_drops").Inc()
@@ -300,6 +312,7 @@ func (n *Network) arrive(msg Message, deliver func(Message)) {
 // is deterministic given the jitter draw), so the span is recorded
 // immediately; lost messages never reach here and leave no span.
 func (n *Network) recordHop(msg *Message, delay sim.Time) {
+	n.prof.Sample(prof.SiteNetDeliver, delay.Std(), msg.Trace.TraceID())
 	if !msg.Trace.Enabled() {
 		return
 	}

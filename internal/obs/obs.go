@@ -37,6 +37,7 @@ import (
 	"io"
 	"sync"
 
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
@@ -97,6 +98,8 @@ type Engine struct {
 	mu       sync.Mutex
 	regs     []watchedReg
 	tracer   *trace.Tracer
+	prof     *prof.Profiler
+	derived  *telemetry.Registry
 	slos     []*sloState
 	rec      *recorder
 	link     *linker
@@ -171,6 +174,44 @@ func (e *Engine) WatchTracer(t *trace.Tracer) {
 	e.mu.Unlock()
 }
 
+// WatchProfiler hands the engine the spine profiler, so Profile() carries
+// live per-call-site region counters alongside the subsystem event counts.
+// A nil profiler is fine.
+func (e *Engine) WatchProfiler(p *prof.Profiler) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.prof = p
+	e.mu.Unlock()
+}
+
+// ExportTo names the registry that receives the engine's derived gauges —
+// today the per-site trace-drop counts (trace.dropped{site=...}), which the
+// tracer records internally but which never reached a Registry.Snapshot
+// before. The assembler points this at the core registry so the gauges ride
+// every snapshot and SLO evaluation.
+func (e *Engine) ExportTo(reg *telemetry.Registry) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.derived = reg
+	e.mu.Unlock()
+}
+
+// exportTraceDropsLocked publishes the tracer's per-site span-drop counts
+// as labeled gauges on the export registry. Cheap when nothing dropped:
+// DroppedBySite returns nil until the first drop.
+func (e *Engine) exportTraceDropsLocked() {
+	if e.derived == nil || e.tracer == nil {
+		return
+	}
+	for site, n := range e.tracer.DroppedBySite() {
+		e.derived.Gauge(telemetry.Key("trace.dropped", "site", site)).Set(float64(n))
+	}
+}
+
 // Start launches the sampling ticker. Idempotent.
 func (e *Engine) Start() {
 	if e == nil || e.stopTick != nil {
@@ -198,6 +239,7 @@ func (e *Engine) Sample() {
 	}
 	e.mu.Lock()
 	now := e.eng.Now()
+	e.exportTraceDropsLocked()
 	for _, st := range e.slos {
 		badDelta := st.sample(now, e.regs)
 		if badDelta > 0 {
@@ -433,6 +475,9 @@ type SpineProfile struct {
 	KnowledgeMerged int64  `json:"knowledge_merged"`
 	SpansHeld       int    `json:"spans_held"`
 	SpansDropped    uint64 `json:"spans_dropped"`
+	// Sites carries the continuous profiler's per-call-site counters when a
+	// profiler is watched (WatchProfiler); absent otherwise.
+	Sites []prof.SiteCount `json:"sites,omitempty"`
 }
 
 // Profile reads the spine profile from the watched registries. Counter
@@ -458,6 +503,7 @@ func (e *Engine) Profile() SpineProfile {
 		p.SpansHeld = e.tracer.Len()
 		p.SpansDropped = e.tracer.Dropped()
 	}
+	p.Sites = e.prof.Counts()
 	return p
 }
 

@@ -5,9 +5,11 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/sched"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
+	"github.com/aisle-sim/aisle/internal/trace"
 )
 
 // newTestEngine assembles an enabled engine over one registry with a single
@@ -432,5 +434,80 @@ func TestDefaultSLOsCoverTheFederationSignals(t *testing.T) {
 	}
 	if len(DefaultWindows()) != 2 {
 		t.Fatalf("DefaultWindows = %+v, want the fast+slow pair", DefaultWindows())
+	}
+}
+
+// TestTraceDropGaugesSurfaceInSnapshot closes the gap where the tracer's
+// per-site span-drop counters lived only on the Tracer: after ExportTo,
+// every Sample publishes them as trace.dropped{site=...} gauges, so they
+// ride Registry.Snapshot like any other labeled metric.
+func TestTraceDropGaugesSurfaceInSnapshot(t *testing.T) {
+	e, eng, reg := newTestEngine(t, ratioSLO())
+	tr := trace.New(trace.Options{Enabled: true, SiteCapacity: 2})
+	e.WatchTracer(tr)
+	e.ExportTo(reg)
+
+	// Overflow the ornl ring: 5 spans into a capacity-2 ring drops 3.
+	ctx := tr.Root(1)
+	for i := 0; i < 5; i++ {
+		s, c := ctx.Start(eng.Now(), "ornl", "job", "run")
+		c.Finish(&s, eng.Now()+sim.Second)
+	}
+	if got := tr.DroppedBySite()["ornl"]; got != 3 {
+		t.Fatalf("precondition: DroppedBySite()[ornl] = %d, want 3", got)
+	}
+
+	key := telemetry.Key("trace.dropped", "site", "ornl")
+	if g := reg.FindGauge(key); g != nil {
+		t.Fatal("drop gauge exported before any Sample")
+	}
+	e.Sample()
+	g := reg.FindGauge(key)
+	if g == nil {
+		t.Fatalf("Sample did not export %s", key)
+	}
+	if got := g.Value(); got != 3 {
+		t.Fatalf("%s = %v, want 3", key, got)
+	}
+	// The gauge must appear in the snapshot, not just on direct lookup.
+	if v, ok := reg.Snapshot().Gauges[key]; !ok || v != 3 {
+		t.Fatalf("Registry.Snapshot gauge %s = %v (present %v), want 3", key, v, ok)
+	}
+	// Drops keep flowing: two more spans, two more drops, next Sample
+	// moves the gauge.
+	for i := 0; i < 2; i++ {
+		s, c := ctx.Start(eng.Now(), "ornl", "job", "run")
+		c.Finish(&s, eng.Now()+sim.Second)
+	}
+	e.Sample()
+	if got := reg.FindGauge(key).Value(); got != 5 {
+		t.Fatalf("after more drops %s = %v, want 5", key, got)
+	}
+}
+
+// TestProfileCarriesProfilerSites: SpineProfile extends into per-call-site
+// region counters when a profiler is watched, and omits them otherwise.
+func TestProfileCarriesProfilerSites(t *testing.T) {
+	e, _, _ := newTestEngine(t, ratioSLO())
+	if got := e.Profile().Sites; got != nil {
+		t.Fatalf("unwatched engine reported profiler sites: %v", got)
+	}
+	p := prof.New(prof.Options{Enabled: true})
+	r := p.Enter(prof.SiteSimEvent)
+	r.End()
+	p.Sample(prof.SiteNetDeliver, sim.Second.Std(), 7)
+	e.WatchProfiler(p)
+	sites := e.Profile().Sites
+	var simEvents, deliverSamples uint64
+	for _, s := range sites {
+		switch s.Site {
+		case "sim.event":
+			simEvents = s.Count
+		case "net.deliver":
+			deliverSamples = s.Samples
+		}
+	}
+	if simEvents != 1 || deliverSamples != 1 {
+		t.Fatalf("profiler counters not surfaced: %+v", sites)
 	}
 }

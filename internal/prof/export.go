@@ -1,0 +1,251 @@
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ProfileSchema identifies the deterministic JSON profile format.
+const ProfileSchema = "aisle/profile/v1"
+
+// BucketJSON is one log2 duration bucket of a site's virtual histogram.
+type BucketJSON struct {
+	// FloorNs is the bucket's lower bound: durations in [FloorNs, 2*FloorNs).
+	FloorNs int64  `json:"floor_ns"`
+	Count   uint64 `json:"count"`
+	SumNs   int64  `json:"sum_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	// Exemplar is the trace ID of the slowest sample in the bucket (hex,
+	// matching trace exports), or empty when the sample carried no trace.
+	Exemplar string `json:"exemplar,omitempty"`
+}
+
+// SiteJSON is one call-site's deterministic profile.
+type SiteJSON struct {
+	Site      string       `json:"site"`
+	Subsystem string       `json:"subsystem"`
+	Count     uint64       `json:"count"`
+	Samples   uint64       `json:"samples,omitempty"`
+	VirtualNs int64        `json:"virtual_ns"`
+	Buckets   []BucketJSON `json:"buckets,omitempty"`
+}
+
+// StackJSON is one region nesting path with deterministic weights.
+type StackJSON struct {
+	// Stack is the semicolon-joined site path, outermost first — the same
+	// string the folded exporter emits.
+	Stack     string `json:"stack"`
+	Count     uint64 `json:"count"`
+	VirtualNs int64  `json:"virtual_ns"`
+}
+
+// WindowJSON is one closed ring window.
+type WindowJSON struct {
+	StartNs int64       `json:"start_ns"`
+	Sites   []SiteCount `json:"sites"`
+}
+
+// Profile is the deterministic snapshot: identical bytes for identical
+// fixed-seed runs, with or without wall-clock noise. Wall time and
+// allocation estimates are deliberately absent — see Measured.
+type Profile struct {
+	Schema   string       `json:"schema"`
+	WindowNs int64        `json:"window_ns"`
+	Sites    []SiteJSON   `json:"sites"`
+	Stacks   []StackJSON  `json:"stacks,omitempty"`
+	Windows  []WindowJSON `json:"windows,omitempty"`
+	Overflow uint64       `json:"overflow,omitempty"`
+}
+
+// Snapshot captures the deterministic profile. Nil on the disabled
+// profiler.
+func (p *Profiler) Snapshot() *Profile {
+	if p == nil {
+		return nil
+	}
+	out := &Profile{Schema: ProfileSchema, WindowNs: p.windowW, Overflow: p.overflow}
+	for s := Site(0); s < numSites; s++ {
+		agg := &p.sites[s]
+		if agg.count == 0 && agg.samples == 0 {
+			continue
+		}
+		sj := SiteJSON{
+			Site:      s.String(),
+			Subsystem: s.Subsystem(),
+			Count:     agg.count,
+			Samples:   agg.samples,
+			VirtualNs: agg.virtual,
+		}
+		for i := range agg.buckets {
+			b := &agg.buckets[i]
+			if b.count == 0 {
+				continue
+			}
+			floor := int64(0)
+			if i > 0 {
+				floor = int64(1) << (i - 1)
+			}
+			bj := BucketJSON{FloorNs: floor, Count: b.count, SumNs: b.sumVirt, MaxNs: b.maxVirt}
+			if b.exemplar != 0 {
+				bj.Exemplar = fmt.Sprintf("%016x", b.exemplar)
+			}
+			sj.Buckets = append(sj.Buckets, bj)
+		}
+		out.Sites = append(out.Sites, sj)
+	}
+	out.Stacks = p.stacks()
+	for i := 0; i < p.ringLen; i++ {
+		w := &p.ring[(p.ringHead-p.ringLen+i+len(p.ring))%len(p.ring)]
+		wj := WindowJSON{StartNs: w.start}
+		for s := Site(0); s < numSites; s++ {
+			if w.count[s] == 0 && w.virtual[s] == 0 {
+				continue
+			}
+			wj.Sites = append(wj.Sites, SiteCount{
+				Site: s.String(), Count: w.count[s], VirtualNs: w.virtual[s],
+			})
+		}
+		out.Windows = append(out.Windows, wj)
+	}
+	return out
+}
+
+// stacks decodes the interned path table, sorted by path string for a
+// stable order.
+func (p *Profiler) stacks() []StackJSON {
+	out := make([]StackJSON, 0, len(p.paths))
+	for key, pa := range p.paths {
+		out = append(out, StackJSON{Stack: decodePath(key), Count: pa.count, VirtualNs: pa.virtual})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stack < out[j].Stack })
+	return out
+}
+
+// decodePath unpacks a path key (one site+1 byte per frame, outermost in
+// the high bits) into "a;b;c".
+func decodePath(key uint64) string {
+	var sites [8]Site
+	n := 0
+	for key != 0 && n < len(sites) {
+		sites[n] = Site(key&0xff - 1)
+		key >>= 8
+		n++
+	}
+	s := ""
+	for i := n - 1; i >= 0; i-- {
+		if s != "" {
+			s += ";"
+		}
+		s += sites[i].String()
+	}
+	return s
+}
+
+// WriteJSON writes the deterministic profile as indented JSON. Byte-stable:
+// two fixed-seed runs produce identical output.
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	snap := p.Snapshot()
+	if snap == nil {
+		snap = &Profile{Schema: ProfileSchema}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Weight selects the folded-stack weight column.
+type Weight int
+
+// Folded weight modes. Count and virtual are deterministic; wall is the
+// run's measured wall nanoseconds (the column flamegraph tooling usually
+// wants, and the one the CI perf lane uploads).
+const (
+	WeightCount Weight = iota
+	WeightVirtual
+	WeightWall
+)
+
+// WriteFolded writes pprof-compatible folded stacks ("a;b;c <weight>", one
+// line per region path). Deterministic for WeightCount and WeightVirtual.
+func (p *Profiler) WriteFolded(w io.Writer, weight Weight) error {
+	bw := bufio.NewWriter(w)
+	if p != nil {
+		type line struct {
+			stack string
+			val   uint64
+		}
+		lines := make([]line, 0, len(p.paths))
+		for key, pa := range p.paths {
+			var v uint64
+			switch weight {
+			case WeightVirtual:
+				v = uint64(pa.virtual)
+			case WeightWall:
+				v = uint64(pa.wall)
+			default:
+				v = pa.count
+			}
+			lines = append(lines, line{stack: decodePath(key), val: v})
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i].stack < lines[j].stack })
+		for _, l := range lines {
+			if _, err := fmt.Fprintf(bw, "%s %d\n", l.stack, l.val); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SiteMeasured is the run-dependent overlay for one call-site: wall time
+// and scaled allocation estimates. Never part of the deterministic profile.
+type SiteMeasured struct {
+	Site       string `json:"site"`
+	Subsystem  string `json:"subsystem"`
+	WallNs     int64  `json:"wall_ns"`
+	SelfWallNs int64  `json:"self_wall_ns"`
+	AllocObjs  uint64 `json:"alloc_objects_est,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes_est,omitempty"`
+}
+
+// Measured returns the wall/alloc overlay in site order, skipping sites
+// that never fired. Nil on the disabled profiler.
+func (p *Profiler) Measured() []SiteMeasured {
+	if p == nil {
+		return nil
+	}
+	out := make([]SiteMeasured, 0, numSites)
+	for s := Site(0); s < numSites; s++ {
+		if p.sites[s].count == 0 {
+			continue
+		}
+		m := &p.measured[s]
+		out = append(out, SiteMeasured{
+			Site:       s.String(),
+			Subsystem:  s.Subsystem(),
+			WallNs:     m.wall,
+			SelfWallNs: m.selfWall,
+			AllocObjs:  m.allocObjs,
+			AllocBytes: m.allocBytes,
+		})
+	}
+	return out
+}
+
+// TotalWallNs is the wall time of all top-level regions — in the wired
+// spine, the sim event loop — i.e. the profiler's coverage numerator.
+func (p *Profiler) TotalWallNs() int64 {
+	if p == nil {
+		return 0
+	}
+	var total int64
+	for key, pa := range p.paths {
+		if key <= 0xff { // depth-1 paths only
+			total += pa.wall
+		}
+	}
+	return total
+}

@@ -1,0 +1,455 @@
+// Package prof is a sim-clock-native continuous profiler for the federation
+// spine. It attributes wall time, virtual time, and (sampled) allocations to
+// a fixed set of instrumented call-sites threaded through the hot packages —
+// the sim event loop, netsim delivery, bus dispatch, scheduler routing and
+// stealing, telemetry recording, and knowledge merging.
+//
+// Design rules, in the spirit of internal/trace and internal/obs:
+//
+//   - A nil *Profiler is the disabled profiler. Every method short-circuits
+//     on nil, and the disabled path allocates nothing (guard-tested).
+//   - The profiler only observes. It never schedules events, draws
+//     randomness, or mutates spine state, so a fixed-seed run's virtual
+//     trajectory is bit-identical with profiling on or off.
+//   - Everything keyed by the virtual clock — region counts, virtual-time
+//     attributions, duration histograms, exemplars, and the windowed ring —
+//     is deterministic for a fixed seed and exported as byte-stable JSON and
+//     pprof-compatible folded stacks. Wall time and allocation estimates are
+//     inherently run-dependent and live in a separate "measured" overlay
+//     that the deterministic exports never touch.
+//   - The spine runs on the single sim goroutine; the profiler is not
+//     goroutine-safe and needs no atomics or locks on the hot path.
+//
+// Histogram buckets carry trace-ID exemplars: the slowest sample in each
+// bucket remembers its causal trace (PR 3), so a slow bucket links straight
+// to its span tree and any flight-recorder snapshot (PR 8) holding it.
+package prof
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Site identifies one instrumented region. The set is closed on purpose:
+// fixed array indexing keeps region enter/exit allocation-free.
+type Site uint8
+
+// Instrumented call-sites, one per spine hot path.
+const (
+	// SiteSimEvent wraps every event callback in the sim loop. Its total
+	// wall time is the denominator for subsystem attribution: everything
+	// the federation does happens inside an event.
+	SiteSimEvent Site = iota
+	// SiteNetSend is netsim admission: metrics, serialization, hop setup.
+	SiteNetSend
+	// SiteNetDeliver is netsim arrival: drop bookkeeping and the deliver
+	// hook. Virtual samples carry the modeled link delay.
+	SiteNetDeliver
+	// SiteBusDispatch is broker-side envelope dispatch (middleware, per-kind
+	// routing, subscriber fan-in).
+	SiteBusDispatch
+	// SiteSchedRoute is cross-site candidate scoring in the scheduler.
+	SiteSchedRoute
+	// SiteSchedSteal is the work-stealing scan.
+	SiteSchedSteal
+	// SiteTelemetryRecord is histogram recording in internal/telemetry.
+	SiteTelemetryRecord
+	// SiteKnowledgeMerge is vector-clock insight merging. Virtual samples
+	// carry the observed sync lag.
+	SiteKnowledgeMerge
+	// SiteCoreDecide is the campaign orchestration decision (planner + twin
+	// verification + approval modeling), the optimizer-adjacent hot path.
+	SiteCoreDecide
+	numSites
+)
+
+var siteNames = [numSites]string{
+	"sim.event",
+	"net.send",
+	"net.deliver",
+	"bus.dispatch",
+	"sched.route",
+	"sched.steal",
+	"telemetry.record",
+	"knowledge.merge",
+	"core.decide",
+}
+
+// String returns the dotted call-site name, e.g. "net.deliver".
+func (s Site) String() string {
+	if s >= numSites {
+		return "invalid"
+	}
+	return siteNames[s]
+}
+
+// Subsystem returns the package-level owner, the part before the dot.
+func (s Site) Subsystem() string {
+	name := s.String()
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// NumSites is the number of instrumented call-sites.
+func NumSites() int { return int(numSites) }
+
+// Options configures a Profiler. The zero value disables profiling.
+type Options struct {
+	// Enabled turns the profiler on. When false, New returns nil — the
+	// disabled profiler — and every instrumented region costs two nil
+	// checks and nothing else.
+	Enabled bool
+	// Window is the virtual width of one ring window (default 5 minutes of
+	// sim time). The ring gives -watch its recent-rate view and keeps the
+	// "continuous" in continuous profiler bounded.
+	Window time.Duration
+	// Windows is the ring capacity (default 32).
+	Windows int
+	// AllocSampleStride measures heap-allocation deltas around every Nth
+	// entry of each site via runtime/metrics, scaling the estimate back up.
+	// 0 uses the default (64); negative disables allocation sampling.
+	AllocSampleStride int
+}
+
+const (
+	defaultWindow      = 5 * time.Minute
+	defaultWindows     = 32
+	defaultAllocStride = 64
+	// maxDepth bounds the region stack. The spine nests regions about five
+	// deep (sim.event > bus.dispatch > sched.route > telemetry.record);
+	// overflow is counted and skipped rather than grown.
+	maxDepth = 32
+	// numBuckets covers log2 virtual durations from <1ns to >2^46ns (~20h).
+	numBuckets = 48
+)
+
+// bucket is one deterministic log2 duration bucket with its exemplar.
+type bucket struct {
+	count    uint64
+	sumVirt  int64
+	maxVirt  int64
+	exemplar uint64 // trace ID of the slowest sample in the bucket
+}
+
+// siteAgg accumulates one call-site. Deterministic fields only; the wall
+// and alloc overlay lives in siteMeasured.
+type siteAgg struct {
+	count   uint64 // region entries
+	virtual int64  // region virtual deltas plus explicit samples, ns
+	samples uint64 // explicit Sample calls
+	buckets [numBuckets]bucket
+}
+
+// siteMeasured is the run-dependent overlay for one call-site.
+type siteMeasured struct {
+	wall       int64 // total wall ns, children included
+	selfWall   int64 // wall ns minus instrumented children
+	allocProbe uint64
+	allocObjs  uint64 // scaled estimate
+	allocBytes uint64 // scaled estimate
+}
+
+// frame is one open region on the stack.
+type frame struct {
+	site      Site
+	pathKey   uint64
+	startWall int64
+	childWall int64
+	startVirt int64
+	allocObjs uint64
+	allocByts uint64
+	sampled   bool
+}
+
+// pathAgg accumulates one region stack path for folded output.
+type pathAgg struct {
+	key     uint64
+	count   uint64
+	virtual int64
+	wall    int64
+}
+
+// window is one closed ring window of per-site activity.
+type window struct {
+	start   int64 // virtual ns at window open
+	count   [numSites]uint64
+	virtual [numSites]int64
+}
+
+// Profiler accumulates instrumented-region activity. Obtain one from New;
+// a nil Profiler is valid and free.
+type Profiler struct {
+	epoch time.Time
+	clock func() int64 // virtual now in ns; nil until SetClock
+
+	sites    [numSites]siteAgg
+	measured [numSites]siteMeasured
+	paths    map[uint64]*pathAgg
+	stack    [maxDepth]frame
+	depth    int
+	overflow uint64 // regions skipped at maxDepth
+
+	// Windowed ring, rolled lazily on the virtual clock.
+	windowW   int64 // width, virtual ns
+	windowEnd int64
+	cur       window
+	ring      []window
+	ringLen   int
+	ringHead  int
+
+	// Allocation sampling.
+	allocStride  uint64
+	allocSamples []metrics.Sample
+}
+
+// New returns a profiler, or nil — the disabled profiler — when
+// opts.Enabled is false.
+func New(opts Options) *Profiler {
+	if !opts.Enabled {
+		return nil
+	}
+	if opts.Window <= 0 {
+		opts.Window = defaultWindow
+	}
+	if opts.Windows <= 0 {
+		opts.Windows = defaultWindows
+	}
+	stride := opts.AllocSampleStride
+	if stride == 0 {
+		stride = defaultAllocStride
+	}
+	p := &Profiler{
+		epoch:     time.Now(),
+		paths:     make(map[uint64]*pathAgg, 16),
+		windowW:   int64(opts.Window),
+		windowEnd: int64(opts.Window),
+		ring:      make([]window, opts.Windows),
+	}
+	if stride > 0 {
+		p.allocStride = uint64(stride)
+		p.allocSamples = []metrics.Sample{
+			{Name: "/gc/heap/allocs:objects"},
+			{Name: "/gc/heap/allocs:bytes"},
+		}
+		metrics.Read(p.allocSamples) // warm the path so later reads stay cheap
+	}
+	return p
+}
+
+// SetClock wires the virtual clock (the sim engine's Now). Without a clock
+// virtual deltas and the window ring stay at zero; explicit Sample calls
+// still record.
+func (p *Profiler) SetClock(fn func() int64) {
+	if p == nil {
+		return
+	}
+	p.clock = fn
+}
+
+// Region is an open instrumented region returned by Enter. The zero Region
+// (from the disabled profiler) is valid and End on it is free.
+type Region struct {
+	p   *Profiler
+	idx int32
+}
+
+// Enter opens a region at site. Pair with End:
+//
+//	r := p.Enter(prof.SiteBusDispatch)
+//	defer r.End() // or call explicitly on straight-line paths
+func (p *Profiler) Enter(site Site) Region {
+	if p == nil {
+		return Region{}
+	}
+	if p.depth >= maxDepth {
+		p.overflow++
+		return Region{}
+	}
+	virt := int64(0)
+	if p.clock != nil {
+		virt = p.clock()
+		if virt >= p.windowEnd {
+			p.roll(virt)
+		}
+	}
+	f := &p.stack[p.depth]
+	f.site = site
+	f.startWall = int64(time.Since(p.epoch))
+	f.childWall = 0
+	f.startVirt = virt
+	parentKey := uint64(0)
+	if p.depth > 0 {
+		parentKey = p.stack[p.depth-1].pathKey
+	}
+	f.pathKey = parentKey<<8 | uint64(site) + 1
+	f.sampled = false
+	agg := &p.sites[site]
+	agg.count++
+	p.cur.count[site]++
+	if p.allocStride > 0 {
+		m := &p.measured[site]
+		m.allocProbe++
+		if m.allocProbe%p.allocStride == 1 || p.allocStride == 1 {
+			metrics.Read(p.allocSamples)
+			f.allocObjs = p.allocSamples[0].Value.Uint64()
+			f.allocByts = p.allocSamples[1].Value.Uint64()
+			f.sampled = true
+		}
+	}
+	p.depth++
+	return Region{p: p, idx: int32(p.depth - 1)}
+}
+
+// End closes the region, attributing wall and virtual deltas to its site
+// and path. Ends arriving out of order close every deeper region first.
+func (r Region) End() {
+	p := r.p
+	if p == nil {
+		return
+	}
+	for p.depth > int(r.idx) {
+		p.exitTop()
+	}
+}
+
+func (p *Profiler) exitTop() {
+	p.depth--
+	f := &p.stack[p.depth]
+	wall := int64(time.Since(p.epoch)) - f.startWall
+	if wall < 0 {
+		wall = 0
+	}
+	var virtDelta int64
+	if p.clock != nil {
+		virtDelta = p.clock() - f.startVirt
+		if virtDelta < 0 {
+			virtDelta = 0
+		}
+	}
+	agg := &p.sites[f.site]
+	agg.virtual += virtDelta
+	p.cur.virtual[f.site] += virtDelta
+	m := &p.measured[f.site]
+	m.wall += wall
+	m.selfWall += wall - f.childWall
+	if f.sampled {
+		metrics.Read(p.allocSamples)
+		m.allocObjs += (p.allocSamples[0].Value.Uint64() - f.allocObjs) * p.allocStride
+		m.allocBytes += (p.allocSamples[1].Value.Uint64() - f.allocByts) * p.allocStride
+	}
+	pa := p.paths[f.pathKey]
+	if pa == nil {
+		pa = &pathAgg{key: f.pathKey}
+		p.paths[f.pathKey] = pa
+	}
+	pa.count++
+	pa.virtual += virtDelta
+	pa.wall += wall
+	if p.depth > 0 {
+		p.stack[p.depth-1].childWall += wall
+	}
+}
+
+// Sample records one explicit virtual-duration observation at site — a
+// modeled link delay, a queue wait, a sync lag — with an optional trace-ID
+// exemplar linking the sample to its causal span. Deterministic for a
+// fixed seed: buckets are log2 of the virtual duration, and each bucket's
+// exemplar is the trace of its slowest sample (first-wins on ties).
+func (p *Profiler) Sample(site Site, virtual time.Duration, traceID uint64) {
+	if p == nil {
+		return
+	}
+	d := int64(virtual)
+	if d < 0 {
+		d = 0
+	}
+	if p.clock != nil {
+		if now := p.clock(); now >= p.windowEnd {
+			p.roll(now)
+		}
+	}
+	agg := &p.sites[site]
+	agg.samples++
+	agg.virtual += d
+	p.cur.virtual[site] += d
+	b := &agg.buckets[bucketOf(d)]
+	b.count++
+	b.sumVirt += d
+	if d > b.maxVirt || b.count == 1 {
+		b.maxVirt = d
+		if traceID != 0 {
+			b.exemplar = traceID
+		}
+	}
+}
+
+// bucketOf maps a non-negative duration to its log2 bucket.
+func bucketOf(d int64) int {
+	b := 0
+	for v := uint64(d); v > 0; v >>= 1 {
+		b++
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// roll closes the current window into the ring and opens the one holding
+// virtual time now. Quiet windows (no activity) collapse: the ring holds
+// at most one closed window per roll, keeping long idle stretches cheap.
+func (p *Profiler) roll(now int64) {
+	p.cur.start = p.windowEnd - p.windowW
+	p.ring[p.ringHead] = p.cur
+	p.ringHead = (p.ringHead + 1) % len(p.ring)
+	if p.ringLen < len(p.ring) {
+		p.ringLen++
+	}
+	p.cur = window{}
+	// Jump the window end past now in whole widths so idle gaps don't
+	// spin the ring one empty window at a time.
+	steps := (now-p.windowEnd)/p.windowW + 1
+	p.windowEnd += steps * p.windowW
+}
+
+// Overflow reports regions skipped because the stack was full.
+func (p *Profiler) Overflow() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.overflow
+}
+
+// SiteCount is one call-site's live counters, for SpineProfile and -watch.
+type SiteCount struct {
+	Site      string `json:"site"`
+	Count     uint64 `json:"count"`
+	Samples   uint64 `json:"samples,omitempty"`
+	VirtualNs int64  `json:"virtual_ns"`
+}
+
+// Counts returns per-site cumulative counters in site order, skipping
+// sites that never fired. Nil (and free) on the disabled profiler.
+func (p *Profiler) Counts() []SiteCount {
+	if p == nil {
+		return nil
+	}
+	out := make([]SiteCount, 0, numSites)
+	for s := Site(0); s < numSites; s++ {
+		agg := &p.sites[s]
+		if agg.count == 0 && agg.samples == 0 {
+			continue
+		}
+		out = append(out, SiteCount{
+			Site:      s.String(),
+			Count:     agg.count,
+			Samples:   agg.samples,
+			VirtualNs: agg.virtual,
+		})
+	}
+	return out
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/aisle-sim/aisle/internal/discovery"
 	"github.com/aisle-sim/aisle/internal/instrument"
 	"github.com/aisle-sim/aisle/internal/netsim"
+	"github.com/aisle-sim/aisle/internal/prof"
 	"github.com/aisle-sim/aisle/internal/rng"
 	"github.com/aisle-sim/aisle/internal/sim"
 	"github.com/aisle-sim/aisle/internal/telemetry"
@@ -344,6 +345,12 @@ type Scheduler struct {
 	// test per transition. Observers must only record — mutating scheduler
 	// state from the callback is not supported.
 	Observer func(Decision)
+
+	// Prof, when non-nil, wraps routing under sched.route and the stealing
+	// scan under sched.steal, and samples each dispatch's queue wait as a
+	// sched.route exemplar keyed by the job's trace ID. Set it after New,
+	// like Observer; the nil default costs one pointer test per hot path.
+	Prof *prof.Profiler
 }
 
 // observe emits a Decision to the Observer, deriving the job identity and
@@ -825,6 +832,8 @@ func (s *Scheduler) instrumentFor(rec *discovery.Record) *instrument.Instrument 
 // instead of cloning the record set; the returned record shares the
 // registry's capability maps and is read-only by contract.
 func (s *Scheduler) route(ss *siteSched, j Job) (discovery.Record, bool) {
+	r := s.Prof.Enter(prof.SiteSchedRoute)
+	defer r.End()
 	var best *discovery.Record
 	bestScore := sim.Time(0)
 	ss.bind.Registry.BrowseFunc(j.Kind, func(rec *discovery.Record) bool {
@@ -875,6 +884,7 @@ func (s *Scheduler) dispatch(ss *siteSched, t *tenantQ, qj *queuedJob, rec disco
 		s.flights = append(s.flights, qj)
 	}
 	wait := s.eng.Now() - qj.enqueued
+	s.Prof.Sample(prof.SiteSchedRoute, wait.Std(), qj.job.Trace.TraceID())
 	s.metrics.Histogram("sched.wait_s").Observe(wait.Seconds())
 	if t.waitHist != nil {
 		t.waitHist.Observe(wait.Seconds())
@@ -1108,6 +1118,8 @@ func (s *Scheduler) localSpare(ss *siteSched) bool {
 // first, only kinds routable from here), paying one WAN round trip before
 // the work lands in its own queues.
 func (s *Scheduler) maybeSteal(ss *siteSched) {
+	r := s.Prof.Enter(prof.SiteSchedSteal)
+	defer r.End()
 	if s.opts.StealThreshold <= 0 || !s.localSpare(ss) {
 		return
 	}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/aisle-sim/aisle/internal/prof"
 )
 
 // Time is virtual simulation time in nanoseconds since the start of the run.
@@ -120,6 +122,10 @@ type Engine struct {
 	// Zero means no bound.
 	Horizon uint64
 
+	// Prof, when non-nil, wraps every event callback in a sim.event
+	// profiler region. The nil default costs one pointer test per event.
+	Prof *prof.Profiler
+
 	processed uint64
 }
 
@@ -210,7 +216,9 @@ func (e *Engine) step() bool {
 		e.now = ev.at
 		ev.fired = true
 		e.processed++
+		r := e.Prof.Enter(prof.SiteSimEvent)
 		ev.fn()
+		r.End()
 		return true
 	}
 	return false

@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/aisle-sim/aisle/internal/prof"
 )
 
 // Counter is a monotonically increasing count. Goroutine-safe.
@@ -76,6 +78,9 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets [220]int64 // 22 decades * 10
+	// prof wraps each observation in a telemetry.record region when the
+	// owning registry has a spine profiler attached; nil costs one test.
+	prof *prof.Profiler
 }
 
 const (
@@ -103,6 +108,8 @@ func bucketUpper(i int) float64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	r := h.prof.Enter(prof.SiteTelemetryRecord)
+	defer r.End()
 	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
@@ -250,6 +257,21 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	prof     *prof.Profiler
+}
+
+// SetProfiler attaches the spine profiler to the registry: every histogram
+// (existing and future) records its observations under the
+// telemetry.record call-site. The profiler is single-goroutine by design,
+// so this is only wired on registries owned by the single-threaded sim
+// spine — exactly where the observations are hot.
+func (r *Registry) SetProfiler(p *prof.Profiler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prof = p
+	for _, h := range r.hists {
+		h.prof = p
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -312,7 +334,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	h, ok = r.hists[name]
 	if !ok {
-		h = &Histogram{}
+		h = &Histogram{prof: r.prof}
 		r.hists[name] = h
 	}
 	return h
