@@ -63,6 +63,16 @@ type Envelope struct {
 	// Trace is the causal context the envelope travels under; the network
 	// layer records per-hop delivery spans against it.
 	Trace trace.Context
+
+	// Pool bookkeeping. Envelopes on the hot paths (requests, replies,
+	// events, acks) come from the fabric's freelist and are recycled at
+	// well-defined points: replies/events/acks when broker dispatch returns,
+	// requests when the handler's respond builds the reply. Application
+	// code may read a delivered envelope only within that window; payloads
+	// are caller-owned and stay valid. Queue envelopes are never pooled —
+	// queues retain them in backlogs, inflight tables, and DLQs.
+	pooled   bool
+	poolNext *Envelope
 }
 
 // Errors surfaced to RPC callers and queue producers.
@@ -95,9 +105,29 @@ type Fabric struct {
 	prof    *prof.Profiler
 
 	// pub/sub state shared across sites.
-	topicSubs   map[string][]subscriberRef
-	awaitingAck map[uint64]*sim.Event
-	deadLetters []*Envelope
+	topicSubs    map[string][]subscriberRef
+	awaitingAck  map[uint64]*pendingPub // at-least-once event deliveries by CorrID
+	awaitingConf map[uint64]sim.Event   // queue publisher confirms by CorrID
+	deadLetters  []*Envelope
+
+	// Freelists for the pooled hot-path objects. Single-threaded like the
+	// engine itself, so plain pointers suffice.
+	envFree  *Envelope
+	pcFree   *pendingCall
+	respFree *responder
+	pubFree  *pendingPub
+
+	// deliverFn is the prebound network-delivery trampoline shared by every
+	// send, so admission does not allocate a closure per message.
+	deliverFn func(netsim.Message)
+
+	// Cached hot-path metric handles, resolved once at construction.
+	delivered, rejected             *telemetry.Counter
+	rpcCalls, rpcRetries            *telemetry.Counter
+	rpcOK, rpcFailures              *telemetry.Counter
+	pubPublished, pubSent, pubAcked *telemetry.Counter
+	pubRedelivered, pubDLQ          *telemetry.Counter
+	rpcLatency                      *telemetry.Histogram
 
 	// DefaultSize is the assumed payload size when an envelope has Size 0.
 	DefaultSize int
@@ -111,13 +141,51 @@ type Fabric struct {
 
 // NewFabric builds a bus spanning the given network.
 func NewFabric(net *netsim.Network) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		net:         net,
 		eng:         net.Engine(),
 		metrics:     telemetry.NewRegistry(),
 		brokers:     make(map[netsim.SiteID]*Broker),
 		DefaultSize: 256,
 	}
+	f.deliverFn = f.deliverMsg
+	m := f.metrics
+	f.delivered = m.Counter("bus.delivered")
+	f.rejected = m.Counter("bus.rejected")
+	f.rpcCalls = m.Counter("bus.rpc.calls")
+	f.rpcRetries = m.Counter("bus.rpc.retries")
+	f.rpcOK = m.Counter("bus.rpc.ok")
+	f.rpcFailures = m.Counter("bus.rpc.failures")
+	f.rpcLatency = m.Histogram("bus.rpc.latency_s")
+	f.pubPublished = m.Counter("bus.pub.published")
+	f.pubSent = m.Counter("bus.pub.sent")
+	f.pubAcked = m.Counter("bus.pub.acked")
+	f.pubRedelivered = m.Counter("bus.pub.redelivered")
+	f.pubDLQ = m.Counter("bus.pub.dlq")
+	return f
+}
+
+// acquireEnv pops a zeroed envelope off the freelist (or allocates one).
+func (f *Fabric) acquireEnv() *Envelope {
+	e := f.envFree
+	if e == nil {
+		e = &Envelope{}
+	} else {
+		f.envFree = e.poolNext
+		e.poolNext = nil
+	}
+	e.pooled = true
+	return e
+}
+
+// releaseEnv recycles a pooled envelope; foreign envelopes (queue messages,
+// test fixtures) are left to the garbage collector.
+func (f *Fabric) releaseEnv(e *Envelope) {
+	if !e.pooled {
+		return
+	}
+	*e = Envelope{poolNext: f.envFree}
+	f.envFree = e
 }
 
 // Metrics exposes bus telemetry.
@@ -157,10 +225,11 @@ func (f *Fabric) id() uint64 {
 	return f.nextID
 }
 
-// send routes an envelope over the network to the destination broker.
-// The onSendErr callback receives synchronous admission errors (link down,
-// firewall); silent loss is not reported, as on a real WAN.
-func (f *Fabric) send(env *Envelope, onSendErr func(error)) {
+// send routes an envelope over the network to the destination broker. The
+// returned error reports synchronous admission failures (link down,
+// firewall); silent loss is not reported, as on a real WAN. On admission
+// failure the envelope is dead and returns to the pool.
+func (f *Fabric) send(env *Envelope) error {
 	size := env.Size
 	if size == 0 {
 		size = f.DefaultSize
@@ -168,20 +237,25 @@ func (f *Fabric) send(env *Envelope, onSendErr func(error)) {
 	if env.Token == nil && f.TokenSource != nil {
 		env.Token = f.TokenSource(env.From)
 	}
-	msg := netsim.Message{
+	err := f.net.Send(netsim.Message{
 		From:    env.From.Site,
 		To:      env.To.Site,
 		Service: "bus",
 		Size:    size,
 		Payload: env,
 		Trace:   env.Trace,
+	}, f.deliverFn)
+	if err != nil {
+		f.releaseEnv(env)
 	}
-	err := f.net.Send(msg, func(m netsim.Message) {
-		f.Broker(env.To.Site).deliver(m.Payload.(*Envelope))
-	})
-	if err != nil && onSendErr != nil {
-		onSendErr(err)
-	}
+	return err
+}
+
+// deliverMsg is the shared arrival trampoline: the envelope rides in the
+// message payload and names its own destination broker.
+func (f *Fabric) deliverMsg(m netsim.Message) {
+	env := m.Payload.(*Envelope)
+	f.Broker(env.To.Site).deliver(env)
 }
 
 // Broker is the per-site message broker.
@@ -236,17 +310,21 @@ func (b *Broker) Endpoints() []string {
 }
 
 // deliver dispatches an inbound envelope: middleware first, then per-kind.
+// Pooled envelopes are recycled when dispatch returns, except requests —
+// those stay live until the handler responds and reply consumes them.
 func (b *Broker) deliver(env *Envelope) {
 	r := b.fabric.prof.Enter(prof.SiteBusDispatch)
 	defer r.End()
-	m := b.fabric.metrics
-	m.Counter("bus.delivered").Inc()
-	for _, mw := range b.fabric.mw {
+	f := b.fabric
+	f.delivered.Inc()
+	for _, mw := range f.mw {
 		if err := mw(env); err != nil {
-			m.Counter("bus.rejected").Inc()
+			f.rejected.Inc()
 			if env.Kind == KindRequest {
 				// Tell the caller rather than let it time out.
 				b.reply(env, nil, fmt.Errorf("%w: %v", ErrRejected, err))
+			} else if env.Kind != KindQueueMsg {
+				f.releaseEnv(env)
 			}
 			return
 		}
@@ -258,14 +336,15 @@ func (b *Broker) deliver(env *Envelope) {
 			b.reply(env, nil, fmt.Errorf("%w: %s", ErrNoEndpoint, env.To))
 			return
 		}
-		responded := false
-		h(env, func(result any, err error) {
-			if responded {
-				panic("bus: handler responded twice")
-			}
-			responded = true
-			b.reply(env, result, err)
-		})
+		rd := f.acquireResponder(b, env)
+		h(env, rd.fn)
+		return
+	case KindQueueMsg:
+		// Queue messages are handled broker-locally in Queue.dispatch; a
+		// remote consumer receives the message here. Queues own their
+		// envelopes (backlogs, redelivery, DLQ), so no release.
+		b.handleQueueDelivery(env)
+		return
 	case KindReply:
 		if b.pending != nil {
 			if pc, ok := b.pending[env.CorrID]; ok {
@@ -282,65 +361,144 @@ func (b *Broker) deliver(env *Envelope) {
 				}
 			}
 		}
-	case KindQueueMsg:
-		// Queue messages are handled broker-locally in Queue.dispatch; a
-		// remote consumer receives the message here.
-		b.handleQueueDelivery(env)
 	case KindAck, KindNack:
 		b.handleAck(env)
 	}
+	f.releaseEnv(env)
+}
+
+// responder carries the respond-exactly-once guard for one in-flight
+// request. Pooled; fn is the respond method bound once at allocation so
+// handing it to a handler does not allocate.
+type responder struct {
+	b    *Broker
+	env  *Envelope
+	done bool
+	fn   func(any, error)
+	next *responder
+}
+
+func (f *Fabric) acquireResponder(b *Broker, env *Envelope) *responder {
+	r := f.respFree
+	if r == nil {
+		r = &responder{}
+		r.fn = r.respond
+	} else {
+		f.respFree = r.next
+		r.next = nil
+	}
+	r.b, r.env, r.done = b, env, false
+	return r
+}
+
+func (r *responder) respond(result any, err error) {
+	if r.done {
+		panic("bus: handler responded twice")
+	}
+	r.done = true
+	b, env := r.b, r.env
+	b.reply(env, result, err)
+	f := b.fabric
+	r.b, r.env = nil, nil
+	r.next = f.respFree
+	f.respFree = r
 }
 
 // replyErr wraps handler errors for wire transport.
 type replyErr struct{ msg string }
 
+// reply consumes a request: it sends the response and recycles the request
+// envelope, which must not be touched afterwards.
 func (b *Broker) reply(req *Envelope, result any, err error) {
-	env := &Envelope{
-		ID:     b.fabric.id(),
-		Kind:   KindReply,
-		From:   req.To,
-		To:     req.From,
-		Method: req.Method,
-		CorrID: req.CorrID,
-		Size:   b.fabric.DefaultSize,
-		Trace:  req.Trace,
-	}
+	f := b.fabric
+	env := f.acquireEnv()
+	env.ID = f.id()
+	env.Kind = KindReply
+	env.From = req.To
+	env.To = req.From
+	env.Method = req.Method
+	env.CorrID = req.CorrID
+	env.Size = f.DefaultSize
+	env.Trace = req.Trace
 	if err != nil {
 		env.Payload = replyErr{msg: err.Error()}
 	} else {
 		env.Payload = result
 	}
-	b.fabric.send(env, nil)
+	_ = f.send(env)
+	f.releaseEnv(req)
 }
 
+// pendingCall tracks one in-flight RPC across its attempts. Pooled;
+// timeoutFn/retryFn are method values bound once at allocation so arming a
+// timer never allocates. At release time no event references the call:
+// completion cancels the timeout, and a completed call never has a backoff
+// retry pending (retries are only scheduled when no completion can race).
 type pendingCall struct {
 	cb      func(any, error)
-	timer   *sim.Event
+	timer   sim.Event
 	done    bool
 	fabric  *Fabric
 	started sim.Time
 	retries int
 	trace   uint64 // trace ID for the completion's profiler exemplar
+
+	opts   CallOpts
+	caller *Broker
+	corr   uint64 // correlation ID of the current attempt
+	n      int    // current attempt index
+
+	timeoutFn func(any)
+	retryFn   func(any)
+	next      *pendingCall
 }
+
+func (f *Fabric) acquirePC() *pendingCall {
+	pc := f.pcFree
+	if pc == nil {
+		pc = &pendingCall{}
+		pc.timeoutFn = pc.onTimeout
+		pc.retryFn = pc.onRetry
+	} else {
+		f.pcFree = pc.next
+		pc.next = nil
+	}
+	return pc
+}
+
+func (f *Fabric) releasePC(pc *pendingCall) {
+	tf, rf := pc.timeoutFn, pc.retryFn
+	*pc = pendingCall{timeoutFn: tf, retryFn: rf, next: f.pcFree}
+	f.pcFree = pc
+}
+
+func (pc *pendingCall) onTimeout(any) {
+	delete(pc.caller.pending, pc.corr)
+	pc.attempt(pc.n + 1)
+}
+
+func (pc *pendingCall) onRetry(any) { pc.attempt(pc.n + 1) }
 
 func (pc *pendingCall) complete(result any, err error) {
 	if pc.done {
 		return
 	}
 	pc.done = true
-	if pc.timer != nil {
-		pc.fabric.eng.Cancel(pc.timer)
+	f := pc.fabric
+	if pc.timer.Valid() {
+		f.eng.Cancel(pc.timer)
 	}
-	wait := pc.fabric.eng.Now() - pc.started
-	pc.fabric.prof.Sample(prof.SiteBusDispatch, wait.Std(), pc.trace)
-	lat := wait.Seconds()
-	pc.fabric.metrics.Histogram("bus.rpc.latency_s").Observe(lat)
+	wait := f.eng.Now() - pc.started
+	f.prof.Sample(prof.SiteBusDispatch, wait.Std(), pc.trace)
+	f.rpcLatency.Observe(wait.Seconds())
 	if err != nil {
-		pc.fabric.metrics.Counter("bus.rpc.failures").Inc()
+		f.rpcFailures.Inc()
 	} else {
-		pc.fabric.metrics.Counter("bus.rpc.ok").Inc()
+		f.rpcOK.Inc()
 	}
-	pc.cb(result, err)
+	cb := pc.cb
+	f.releasePC(pc)
+	cb(result, err)
 }
 
 func (pc *pendingCall) errFromEnvelope(env *Envelope) error {
@@ -372,62 +530,66 @@ func (f *Fabric) Call(opts CallOpts, cb func(result any, err error)) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = sim.Second
 	}
-	m := f.metrics
-	m.Counter("bus.rpc.calls").Inc()
+	f.rpcCalls.Inc()
 
-	targets := append([]Address{opts.To}, opts.Alternates...)
 	caller := f.Broker(opts.From.Site)
 	if caller.pending == nil {
 		caller.pending = make(map[uint64]*pendingCall)
 	}
 
-	pc := &pendingCall{cb: cb, fabric: f, started: f.eng.Now(), trace: opts.Trace.TraceID()}
+	pc := f.acquirePC()
+	pc.cb = cb
+	pc.fabric = f
+	pc.started = f.eng.Now()
+	pc.trace = opts.Trace.TraceID()
+	pc.opts = opts
+	pc.caller = caller
+	pc.attempt(0)
+}
 
-	var attempt func(n int)
-	attempt = func(n int) {
-		if pc.done {
-			return
-		}
-		if n > opts.Retries {
-			pc.complete(nil, fmt.Errorf("%w after %d attempts: %s %s",
-				ErrTimeout, n, opts.Method, opts.To))
-			return
-		}
-		if n > 0 {
-			m.Counter("bus.rpc.retries").Inc()
-			pc.retries++
-		}
-		target := targets[n%len(targets)]
-		corr := f.id()
-		caller.pending[corr] = pc
-		env := &Envelope{
-			ID:      f.id(),
-			Kind:    KindRequest,
-			From:    opts.From,
-			To:      target,
-			Method:  opts.Method,
-			CorrID:  corr,
-			Payload: opts.Payload,
-			Token:   opts.Token,
-			Size:    opts.Size,
-			Attempt: n + 1,
-			Trace:   opts.Trace,
-		}
-		sendFailed := false
-		f.send(env, func(error) { sendFailed = true })
-		if sendFailed {
-			// Connection refused: move to the next attempt after a short
-			// backoff rather than burning the whole timeout.
-			delete(caller.pending, corr)
-			f.eng.Schedule(opts.Timeout/4+sim.Millisecond, func() { attempt(n + 1) })
-			return
-		}
-		pc.timer = f.eng.Schedule(opts.Timeout, func() {
-			delete(caller.pending, corr)
-			attempt(n + 1)
-		})
+func (pc *pendingCall) attempt(n int) {
+	if pc.done {
+		return
 	}
-	attempt(0)
+	pc.n = n
+	f := pc.fabric
+	if n > pc.opts.Retries {
+		pc.complete(nil, fmt.Errorf("%w after %d attempts: %s %s",
+			ErrTimeout, n, pc.opts.Method, pc.opts.To))
+		return
+	}
+	if n > 0 {
+		f.rpcRetries.Inc()
+		pc.retries++
+	}
+	// Round-robin over To plus Alternates without materializing a slice.
+	target := pc.opts.To
+	if i := n % (1 + len(pc.opts.Alternates)); i > 0 {
+		target = pc.opts.Alternates[i-1]
+	}
+	corr := f.id()
+	pc.corr = corr
+	pc.caller.pending[corr] = pc
+	env := f.acquireEnv()
+	env.ID = f.id()
+	env.Kind = KindRequest
+	env.From = pc.opts.From
+	env.To = target
+	env.Method = pc.opts.Method
+	env.CorrID = corr
+	env.Payload = pc.opts.Payload
+	env.Token = pc.opts.Token
+	env.Size = pc.opts.Size
+	env.Attempt = n + 1
+	env.Trace = pc.opts.Trace
+	if f.send(env) != nil {
+		// Connection refused: move to the next attempt after a short
+		// backoff rather than burning the whole timeout.
+		delete(pc.caller.pending, corr)
+		f.eng.ScheduleArg(pc.opts.Timeout/4+sim.Millisecond, pc.retryFn, nil)
+		return
+	}
+	pc.timer = f.eng.ScheduleArg(pc.opts.Timeout, pc.timeoutFn, nil)
 }
 
 // QoS selects delivery guarantees for pub/sub.

@@ -70,73 +70,138 @@ func (f *Fabric) Publish(opts PublishOpts) {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 4
 	}
-	f.metrics.Counter("bus.pub.published").Inc()
+	f.pubPublished.Inc()
 	for _, ref := range f.subscribers(opts.Topic) {
 		f.deliverEvent(opts, ref, 1)
 	}
 }
 
-func (f *Fabric) deliverEvent(opts PublishOpts, ref subscriberRef, attempt int) {
-	env := &Envelope{
-		ID:      f.id(),
-		Kind:    KindEvent,
-		From:    opts.From,
-		To:      ref.addr,
-		Topic:   opts.Topic,
-		Payload: opts.Payload,
-		Token:   opts.Token,
-		Size:    opts.Size,
-		Attempt: attempt,
-		Trace:   opts.Trace,
+// pendingPub tracks one unacknowledged at-least-once delivery. It holds
+// everything needed to redeliver or dead-letter without retaining the sent
+// envelope, which the subscriber's broker recycles on delivery. Pooled;
+// fireFn is the redelivery-timer method bound once at allocation.
+type pendingPub struct {
+	f       *Fabric
+	opts    PublishOpts
+	ref     subscriberRef
+	attempt int
+	corr    uint64 // the attempt's envelope ID doubles as correlation ID
+	timer   sim.Event
+	fireFn  func(any)
+	next    *pendingPub
+}
+
+func (f *Fabric) acquirePub() *pendingPub {
+	p := f.pubFree
+	if p == nil {
+		p = &pendingPub{f: f}
+		p.fireFn = p.fire
+	} else {
+		f.pubFree = p.next
+		p.next = nil
 	}
+	return p
+}
+
+func (f *Fabric) releasePub(p *pendingPub) {
+	ff := p.fireFn
+	*p = pendingPub{f: f, fireFn: ff, next: f.pubFree}
+	f.pubFree = p
+}
+
+// fire runs when the ack timeout lapses: redeliver, or dead-letter after
+// MaxAttempts. The dead-letter envelope is reconstructed from the retained
+// publish state — field-for-field identical to the one that went unacked.
+func (p *pendingPub) fire(any) {
+	f := p.f
+	delete(f.awaitingAck, p.corr)
+	if p.attempt >= p.opts.MaxAttempts {
+		f.pubDLQ.Inc()
+		f.deadLetters = append(f.deadLetters, &Envelope{
+			ID:      p.corr,
+			Kind:    KindEvent,
+			From:    p.opts.From,
+			To:      p.ref.addr,
+			Topic:   p.opts.Topic,
+			CorrID:  p.corr,
+			Payload: p.opts.Payload,
+			Token:   p.opts.Token,
+			Size:    p.opts.Size,
+			Attempt: p.attempt,
+			Trace:   p.opts.Trace,
+		})
+		f.releasePub(p)
+		return
+	}
+	f.pubRedelivered.Inc()
+	opts, ref, attempt := p.opts, p.ref, p.attempt
+	f.releasePub(p)
+	f.deliverEvent(opts, ref, attempt+1)
+}
+
+func (f *Fabric) deliverEvent(opts PublishOpts, ref subscriberRef, attempt int) {
+	env := f.acquireEnv()
+	env.ID = f.id()
+	env.Kind = KindEvent
+	env.From = opts.From
+	env.To = ref.addr
+	env.Topic = opts.Topic
+	env.Payload = opts.Payload
+	env.Token = opts.Token
+	env.Size = opts.Size
+	env.Attempt = attempt
+	env.Trace = opts.Trace
 	if ref.qos == AtMostOnce {
-		f.send(env, nil)
-		f.metrics.Counter("bus.pub.sent").Inc()
+		_ = f.send(env)
+		f.pubSent.Inc()
 		return
 	}
 	// AtLeastOnce: remember the delivery and arm the redelivery timer.
 	if f.awaitingAck == nil {
-		f.awaitingAck = make(map[uint64]*sim.Event)
+		f.awaitingAck = make(map[uint64]*pendingPub)
 	}
-	f.metrics.Counter("bus.pub.sent").Inc()
-	env.CorrID = env.ID
-	f.send(env, nil)
-	timer := f.eng.Schedule(opts.AckTimeout, func() {
-		delete(f.awaitingAck, env.CorrID)
-		if attempt >= opts.MaxAttempts {
-			f.metrics.Counter("bus.pub.dlq").Inc()
-			f.deadLetters = append(f.deadLetters, env)
-			return
-		}
-		f.metrics.Counter("bus.pub.redelivered").Inc()
-		f.deliverEvent(opts, ref, attempt+1)
-	})
-	f.awaitingAck[env.CorrID] = timer
+	f.pubSent.Inc()
+	corr := env.ID
+	env.CorrID = corr
+	_ = f.send(env)
+	p := f.acquirePub()
+	p.opts, p.ref, p.attempt, p.corr = opts, ref, attempt, corr
+	p.timer = f.eng.ScheduleArg(opts.AckTimeout, p.fireFn, nil)
+	f.awaitingAck[corr] = p
 }
 
 // sendAck confirms an at-least-once event back to the publishing fabric.
 // In this in-process model the ack travels the reverse network path so its
 // latency and loss are realistic.
 func (b *Broker) sendAck(env *Envelope) {
-	ack := &Envelope{
-		ID:     b.fabric.id(),
-		Kind:   KindAck,
-		From:   env.To,
-		To:     env.From,
-		CorrID: env.CorrID,
-		Size:   64,
-	}
-	b.fabric.send(ack, nil)
+	f := b.fabric
+	ack := f.acquireEnv()
+	ack.ID = f.id()
+	ack.Kind = KindAck
+	ack.From = env.To
+	ack.To = env.From
+	ack.CorrID = env.CorrID
+	ack.Size = 64
+	_ = f.send(ack)
 }
 
 func (b *Broker) handleAck(env *Envelope) {
 	f := b.fabric
 	switch env.Kind {
 	case KindAck:
-		if t, ok := f.awaitingAck[env.CorrID]; ok {
-			f.eng.Cancel(t)
+		if p, ok := f.awaitingAck[env.CorrID]; ok {
+			f.eng.Cancel(p.timer)
 			delete(f.awaitingAck, env.CorrID)
-			f.metrics.Counter("bus.pub.acked").Inc()
+			f.releasePub(p)
+			f.pubAcked.Inc()
+			return
+		}
+		if t, ok := f.awaitingConf[env.CorrID]; ok {
+			// Queue publisher confirm. Counted as a pub ack, matching the
+			// era when confirms and event acks shared one table.
+			f.eng.Cancel(t)
+			delete(f.awaitingConf, env.CorrID)
+			f.pubAcked.Inc()
 			return
 		}
 		// Queue consumer ack.

@@ -35,7 +35,7 @@ type consumerRef struct {
 type queueDelivery struct {
 	env      *Envelope
 	consumer Address
-	timer    *sim.Event
+	timer    sim.Event
 	attempt  int
 }
 
@@ -104,9 +104,7 @@ func (f *Fabric) Enqueue(from Address, queueSite Address, queueName string, payl
 	f.metrics.Counter("bus.queue.enqueued").Inc()
 	// Producer -> host broker hop: fail fast on hard unreachability, retry
 	// on silent loss.
-	sendErr := error(nil)
-	f.send(env, func(err error) { sendErr = err })
-	if sendErr != nil {
+	if sendErr := f.send(env); sendErr != nil {
 		return fmt.Errorf("%w: %v", ErrUnreachable, sendErr)
 	}
 	f.armPublishConfirm(env, 1)
@@ -117,21 +115,23 @@ func (f *Fabric) Enqueue(from Address, queueSite Address, queueName string, payl
 const publishConfirmAttempts = 8
 
 // armPublishConfirm schedules a retransmission unless the host confirms.
+// The same envelope is retransmitted verbatim (the host deduplicates by
+// ID), which is why queue envelopes are never pooled.
 func (f *Fabric) armPublishConfirm(env *Envelope, attempt int) {
-	if f.awaitingAck == nil {
-		f.awaitingAck = make(map[uint64]*sim.Event)
+	if f.awaitingConf == nil {
+		f.awaitingConf = make(map[uint64]sim.Event)
 	}
 	timer := f.eng.Schedule(500*sim.Millisecond, func() {
-		delete(f.awaitingAck, env.CorrID)
+		delete(f.awaitingConf, env.CorrID)
 		if attempt >= publishConfirmAttempts {
 			f.metrics.Counter("bus.queue.publish_failed").Inc()
 			return
 		}
 		f.metrics.Counter("bus.queue.publish_retries").Inc()
-		f.send(env, nil)
+		_ = f.send(env)
 		f.armPublishConfirm(env, attempt+1)
 	})
-	f.awaitingAck[env.CorrID] = timer
+	f.awaitingConf[env.CorrID] = timer
 }
 
 // handleQueueDelivery runs on the broker receiving a KindQueueMsg envelope.
@@ -145,7 +145,7 @@ func (b *Broker) handleQueueDelivery(env *Envelope) {
 			ID: b.fabric.id(), Kind: KindAck,
 			From: env.To, To: env.From, CorrID: env.CorrID, Size: 64,
 		}
-		b.fabric.send(conf, nil)
+		_ = b.fabric.send(conf)
 		if b.seenPublish == nil {
 			b.seenPublish = make(map[uint64]bool)
 		}
@@ -182,7 +182,7 @@ func (b *Broker) handleQueueDelivery(env *Envelope) {
 	} else {
 		ack.Kind = KindAck
 	}
-	b.fabric.send(ack, nil)
+	_ = b.fabric.send(ack)
 }
 
 type consumerKey struct {
@@ -241,9 +241,8 @@ func (q *Queue) dispatch(env *Envelope, attempt int) {
 	qd := &queueDelivery{env: env, consumer: c.addr, attempt: attempt}
 	q.inflight[tag] = qd
 	f.metrics.Counter("bus.queue.dispatched").Inc()
-	f.send(d, func(error) {
-		// Host cannot reach consumer: fail fast to redelivery.
-	})
+	// Host cannot reach consumer: the redelivery timer below covers it.
+	_ = f.send(d)
 	qd.timer = f.eng.Schedule(q.AckTimeout, func() {
 		delete(q.inflight, tag)
 		f.metrics.Counter("bus.queue.redelivered").Inc()

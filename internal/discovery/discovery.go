@@ -10,6 +10,13 @@
 // stalls convergence only for the separated groups, leases expire when an
 // owner dies, and the directory re-converges after topology changes without
 // central coordination.
+//
+// Records are copy-on-write: once stored, a *Record's content never
+// mutates, so gossip snapshots and merges share pointers instead of deep
+// cloning (the pre-rewrite clone-per-record-per-round dominated the whole
+// simulation's allocation profile). Mutable lease state (expiry, last
+// update) lives in a per-registry entry alongside the shared record;
+// version bumps (Renew, Deregister) replace the record pointer.
 package discovery
 
 import (
@@ -28,6 +35,10 @@ import (
 // unique ("ornl/xrd-1"); Type groups interchangeable services
 // ("_xrd._aisle"). Capabilities hold numeric capability levels used in
 // negotiation; Text holds descriptive metadata (vendor, model, units).
+//
+// Stored records are immutable and shared across registries; UpdatedAt and
+// ExpiresAt are filled in on copy-out from the owning registry's lease
+// entry.
 type Record struct {
 	Instance     string
 	Type         string
@@ -57,11 +68,26 @@ func (r *Record) clone() *Record {
 	return &c
 }
 
+// entry pairs a shared immutable record with this registry's lease state.
+type entry struct {
+	rec       *Record
+	updatedAt sim.Time
+	expiresAt sim.Time
+}
+
+// copyOut materializes a caller-owned Record with the local lease view.
+func (e *entry) copyOut() Record {
+	c := *e.rec.clone()
+	c.UpdatedAt = e.updatedAt
+	c.ExpiresAt = e.expiresAt
+	return c
+}
+
 // Registry is one site's view of the federated directory.
 type Registry struct {
 	site    netsim.SiteID
 	dir     *Directory
-	records map[string]*Record
+	records map[string]*entry
 
 	// Read-path acceleration: routing browses the directory on every
 	// scheduler dispatch attempt, so lookups must not rescan and re-sort
@@ -121,7 +147,7 @@ func NewDirectory(fabric *bus.Fabric, sites []netsim.SiteID) *Directory {
 		DefaultTTL:     30 * sim.Second,
 	}
 	for _, s := range sites {
-		d.registries[s] = &Registry{site: s, dir: d, records: make(map[string]*Record)}
+		d.registries[s] = &Registry{site: s, dir: d, records: make(map[string]*entry)}
 	}
 	for _, s := range sites {
 		s := s
@@ -165,13 +191,18 @@ func (r *Registry) Register(rec Record) {
 	rec.Origin = r.site
 	existing := r.records[rec.Instance]
 	if existing != nil {
-		rec.Version = existing.Version + 1
+		rec.Version = existing.rec.Version + 1
 	} else {
 		rec.Version = 1
 	}
-	rec.UpdatedAt = r.dir.eng.Now()
-	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
-	r.records[rec.Instance] = rec.clone()
+	now := r.dir.eng.Now()
+	rec.UpdatedAt = now
+	rec.ExpiresAt = now + rec.TTL
+	r.records[rec.Instance] = &entry{
+		rec:       rec.clone(), // detach from the caller's maps
+		updatedAt: now,
+		expiresAt: now + rec.TTL,
+	}
 	r.gen++
 	r.dir.metrics.Counter("discovery.registrations").Inc()
 }
@@ -180,28 +211,33 @@ func (r *Registry) Register(rec Record) {
 // its version so remote registries learn the new expiry. It reports whether
 // the instance was found and owned here.
 func (r *Registry) Renew(instance string) bool {
-	rec, ok := r.records[instance]
-	if !ok || rec.Origin != r.site || rec.Deleted {
+	e, ok := r.records[instance]
+	if !ok || e.rec.Origin != r.site || e.rec.Deleted {
 		return false
 	}
-	rec.Version++
-	rec.UpdatedAt = r.dir.eng.Now()
-	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
+	// Copy-on-write: snapshots in flight share the old record.
+	next := *e.rec
+	next.Version++
+	e.rec = &next
+	e.updatedAt = r.dir.eng.Now()
+	e.expiresAt = e.updatedAt + next.TTL
 	return true
 }
 
 // Deregister tombstones an instance owned by this registry.
 func (r *Registry) Deregister(instance string) bool {
-	rec, ok := r.records[instance]
-	if !ok || rec.Origin != r.site {
+	e, ok := r.records[instance]
+	if !ok || e.rec.Origin != r.site {
 		return false
 	}
-	rec.Deleted = true
-	rec.Version++
-	rec.UpdatedAt = r.dir.eng.Now()
+	next := *e.rec
+	next.Deleted = true
+	next.Version++
+	e.rec = &next
+	e.updatedAt = r.dir.eng.Now()
 	// Tombstones linger one TTL so gossip can spread them.
-	rec.ExpiresAt = r.dir.eng.Now() + rec.TTL
-	r.touch(rec.ExpiresAt)
+	e.expiresAt = e.updatedAt + next.TTL
+	r.touch(e.expiresAt)
 	return true
 }
 
@@ -216,15 +252,15 @@ func (r *Registry) expire() {
 	}
 	next := noExpiry
 	removed := 0
-	for name, rec := range r.records {
-		if now >= rec.ExpiresAt && !(rec.Origin == r.site && !rec.Deleted) {
+	for name, e := range r.records {
+		if now >= e.expiresAt && !(e.rec.Origin == r.site && !e.rec.Deleted) {
 			delete(r.records, name)
 			removed++
 			r.dir.metrics.Counter("discovery.expirations").Inc()
 			continue
 		}
-		if rec.ExpiresAt < next && !(rec.Origin == r.site && !rec.Deleted) {
-			next = rec.ExpiresAt
+		if e.expiresAt < next && !(e.rec.Origin == r.site && !e.rec.Deleted) {
+			next = e.expiresAt
 		}
 	}
 	r.nextExpiry = next
@@ -248,9 +284,9 @@ func (r *Registry) typeIndexFor(serviceType string) *typeIndex {
 		r.typeIdx[serviceType] = idx
 	}
 	idx.recs = idx.recs[:0]
-	for _, rec := range r.records {
-		if rec.Type == serviceType {
-			idx.recs = append(idx.recs, rec)
+	for _, e := range r.records {
+		if e.rec.Type == serviceType {
+			idx.recs = append(idx.recs, e.rec)
 		}
 	}
 	sort.Slice(idx.recs, func(i, j int) bool { return idx.recs[i].Instance < idx.recs[j].Instance })
@@ -289,67 +325,75 @@ func (r *Registry) HasType(serviceType string) bool {
 
 // Browse lists live records of the given type, sorted by instance name.
 func (r *Registry) Browse(serviceType string) []Record {
+	r.expire()
 	var out []Record
-	r.BrowseFunc(serviceType, func(rec *Record) bool {
-		out = append(out, *rec.clone())
-		return true
-	})
+	for _, rec := range r.typeIndexFor(serviceType).recs {
+		if rec.Deleted {
+			continue
+		}
+		if e := r.records[rec.Instance]; e != nil {
+			out = append(out, e.copyOut())
+		}
+	}
 	return out
 }
 
 // Resolve fetches a single instance by name.
 func (r *Registry) Resolve(instance string) (Record, bool) {
 	r.expire()
-	rec, ok := r.records[instance]
-	if !ok || rec.Deleted {
+	e, ok := r.records[instance]
+	if !ok || e.rec.Deleted {
 		return Record{}, false
 	}
-	return *rec.clone(), true
+	return e.copyOut(), true
 }
 
 // Live reports the number of live (non-tombstone) records.
 func (r *Registry) Live() int {
 	r.expire()
 	n := 0
-	for _, rec := range r.records {
-		if !rec.Deleted {
+	for _, e := range r.records {
+		if !e.rec.Deleted {
 			n++
 		}
 	}
 	return n
 }
 
-// snapshot exports all records (including tombstones) for gossip.
+// snapshot exports all records (including tombstones) for gossip. The
+// returned slice shares the registry's immutable record pointers — the
+// whole export is one slice allocation. The slice itself is freshly
+// allocated per call because it rides the bus as a message payload with an
+// unbounded delivery horizon (retries, slow links).
 func (r *Registry) snapshot() []*Record {
 	out := make([]*Record, 0, len(r.records))
-	for _, rec := range r.records {
-		out = append(out, rec.clone())
+	for _, e := range r.records {
+		out = append(out, e.rec)
 	}
 	return out
 }
 
 // merge folds remote records in, keeping the higher (origin, version) wins.
 // Hearing an unchanged record again refreshes its lease, so steady gossip
-// keeps live records alive without explicit renewal traffic.
+// keeps live records alive without explicit renewal traffic. Accepted
+// records are stored by pointer — content is immutable federation-wide, so
+// no copy is needed; only the local lease entry is new.
 func (r *Registry) merge(in []*Record) int {
 	changed := 0
 	now := r.dir.eng.Now()
 	for _, rec := range in {
 		cur, ok := r.records[rec.Instance]
-		if ok && cur.Version > rec.Version {
+		if ok && cur.rec.Version > rec.Version {
 			continue
 		}
-		if ok && cur.Version == rec.Version && !rec.Deleted {
-			cur.ExpiresAt = now + cur.TTL
+		if ok && cur.rec.Version == rec.Version && !rec.Deleted {
+			// Foreign lease clock restarts on every fresh sighting.
+			cur.expiresAt = now + cur.rec.TTL
 			continue
 		}
-		c := rec.clone()
-		c.UpdatedAt = now
-		// Foreign lease clock restarts locally: a record is trusted for one
-		// TTL from the moment we learned of it.
-		c.ExpiresAt = now + c.TTL
-		r.records[rec.Instance] = c
-		r.touch(c.ExpiresAt)
+		expires := now + rec.TTL
+		r.records[rec.Instance] = &entry{rec: rec, updatedAt: now, expiresAt: expires}
+		r.touch(expires)
 		changed++
 	}
 	if changed > 0 {
@@ -402,9 +446,9 @@ func (d *Directory) Converged() bool {
 		reg := d.registries[s]
 		reg.expire()
 		view := make(map[string]uint64)
-		for name, rec := range reg.records {
-			if !rec.Deleted {
-				view[name] = rec.Version
+		for name, e := range reg.records {
+			if !e.rec.Deleted {
+				view[name] = e.rec.Version
 			}
 		}
 		if ref == nil {
@@ -456,6 +500,9 @@ func (r *Registry) Negotiate(req Requirement) (Record, bool) {
 		return Record{}, false
 	}
 	r.dir.metrics.Counter("discovery.negotiations").Inc()
+	if e := r.records[best.Instance]; e != nil {
+		return e.copyOut(), true
+	}
 	return *best.clone(), true
 }
 

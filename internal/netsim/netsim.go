@@ -90,7 +90,14 @@ type Site struct {
 	Firewall *Firewall
 	// LANLatency is the intra-site delivery delay (loopback messages).
 	LANLatency sim.Time
+
+	// shard is the engine event shard deliveries to this site land on
+	// (0 unless the network was created with sharding enabled).
+	shard int
 }
+
+// Shard reports the engine event shard owning this site's deliveries.
+func (s *Site) Shard() int { return s.shard }
 
 type linkKey struct{ a, b SiteID }
 
@@ -111,6 +118,25 @@ type Network struct {
 	metrics *telemetry.Registry
 	prof    *prof.Profiler
 
+	// Hot-path state: counters and the delay histogram resolve once at
+	// construction instead of per send; arriveFn is the single prebound
+	// delivery trampoline; free heads the pooled transit list, so a send
+	// in steady state allocates nothing.
+	sentC      *telemetry.Counter
+	bytesC     *telemetry.Counter
+	deliveredC *telemetry.Counter
+	firewalled *telemetry.Counter
+	linkDownC  *telemetry.Counter
+	lostC      *telemetry.Counter
+	inflightC  *telemetry.Counter
+	delayH     *telemetry.Histogram
+	arriveFn   func(any)
+	free       *transit
+
+	sharded  bool
+	minLat   sim.Time
+	haveLink bool
+
 	// DropInFlight re-checks the link at the arrival instant: a message
 	// accepted while the link was up is dropped if the link went down while
 	// it was in flight. Off by default — the base model commits delivery at
@@ -125,13 +151,58 @@ type Network struct {
 
 // New returns an empty network bound to the engine and random stream.
 func New(eng *sim.Engine, rnd *rng.Stream) *Network {
-	return &Network{
+	n := &Network{
 		eng:     eng,
 		rnd:     rnd.Fork("netsim"),
 		sites:   make(map[SiteID]*Site),
 		links:   make(map[linkKey]*Link),
 		metrics: telemetry.NewRegistry(),
 	}
+	n.sentC = n.metrics.Counter("net.sent")
+	n.bytesC = n.metrics.Counter("net.bytes_sent")
+	n.deliveredC = n.metrics.Counter("net.delivered")
+	n.firewalled = n.metrics.Counter("net.firewalled")
+	n.linkDownC = n.metrics.Counter("net.link_down_drops")
+	n.lostC = n.metrics.Counter("net.lost")
+	n.inflightC = n.metrics.Counter("net.inflight_drops")
+	n.delayH = n.metrics.Histogram("net.delay_s")
+	n.arriveFn = n.arriveTransit
+	return n
+}
+
+// EnableSharding places each subsequently added site on its own engine
+// event shard, so deliveries to a site queue on that site's timer wheel
+// and the PDES merge boundaries follow the physical topology. Call before
+// AddSite; sites added earlier stay on shard 0.
+func (n *Network) EnableSharding() { n.sharded = true }
+
+// Sharded reports whether per-site event sharding is on.
+func (n *Network) Sharded() bool { return n.sharded }
+
+// transit is the pooled in-flight carrier for one message. It is released
+// back to the network's freelist when delivery completes, making the
+// send→deliver cycle allocation-free in steady state.
+type transit struct {
+	msg     Message
+	deliver func(Message)
+	next    *transit
+}
+
+func (n *Network) acquireTransit() *transit {
+	t := n.free
+	if t == nil {
+		return &transit{}
+	}
+	n.free = t.next
+	t.next = nil
+	return t
+}
+
+func (n *Network) releaseTransit(t *transit) {
+	t.msg = Message{}
+	t.deliver = nil
+	t.next = n.free
+	n.free = t
 }
 
 // Engine exposes the simulation engine the network runs on.
@@ -153,6 +224,9 @@ func (n *Network) AddSite(id SiteID) *Site {
 		panic(fmt.Sprintf("netsim: duplicate site %q", id))
 	}
 	s := &Site{ID: id, Firewall: &Firewall{}, LANLatency: 200 * sim.Microsecond}
+	if n.sharded {
+		s.shard = n.eng.AddShard()
+	}
 	n.sites[id] = s
 	return s
 }
@@ -185,8 +259,20 @@ func (n *Network) Connect(a, b SiteID, l Link) *Link {
 	k, _ := keyFor(a, b)
 	lp := &l
 	n.links[k] = lp
+	// The minimum cross-site propagation delay is the conservative PDES
+	// lookahead: no event scheduled by one site's shard can land on
+	// another shard sooner than this.
+	if !n.haveLink || l.Latency < n.minLat {
+		n.minLat = l.Latency
+		n.haveLink = true
+		n.eng.SetLookahead(n.minLat)
+	}
 	return lp
 }
+
+// Lookahead reports the minimum cross-site link latency — the conservative
+// PDES safe window for the shard merge.
+func (n *Network) Lookahead() sim.Time { return n.minLat }
 
 // LinkBetween returns the link joining a and b, or nil.
 func (n *Network) LinkBetween(a, b SiteID) *Link {
@@ -249,19 +335,19 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 		return fmt.Errorf("%w: %q", ErrUnknownSite, msg.To)
 	}
 
-	n.metrics.Counter("net.sent").Inc()
-	n.metrics.Counter("net.bytes_sent").Add(int64(msg.Size))
+	n.sentC.Inc()
+	n.bytesC.Add(int64(msg.Size))
 
 	// Loopback: LAN latency only, no firewall (intra-site traffic).
 	if msg.From == msg.To {
 		n.recordHop(&msg, dst.LANLatency)
-		n.eng.Schedule(dst.LANLatency, func() { n.arrive(msg, deliver) })
-		n.metrics.Counter("net.delivered").Inc()
+		n.scheduleArrival(dst, dst.LANLatency, msg, deliver)
+		n.deliveredC.Inc()
 		return nil
 	}
 
 	if !dst.Firewall.Admits(msg.From, msg.Service) {
-		n.metrics.Counter("net.firewalled").Inc()
+		n.firewalled.Inc()
 		return fmt.Errorf("%w: %s -> %s service %q", ErrFirewall, msg.From, msg.To, msg.Service)
 	}
 
@@ -271,33 +357,47 @@ func (n *Network) Send(msg Message, deliver func(Message)) error {
 		return fmt.Errorf("%w: %s <-> %s", ErrNoRoute, msg.From, msg.To)
 	}
 	if !link.up {
-		n.metrics.Counter("net.link_down_drops").Inc()
+		n.linkDownC.Inc()
 		return fmt.Errorf("%w: %s <-> %s", ErrLinkDown, msg.From, msg.To)
 	}
 
 	if link.Loss > 0 && n.rnd.Bool(link.Loss) {
 		// Accepted then lost in flight.
-		n.metrics.Counter("net.lost").Inc()
+		n.lostC.Inc()
 		return nil
 	}
 
 	delay := n.transferDelay(link, dir, msg.Size)
-	n.metrics.Histogram("net.delay_s").Observe(delay.Seconds())
+	n.delayH.Observe(delay.Seconds())
 	n.recordHop(&msg, delay)
-	n.eng.Schedule(delay, func() { n.arrive(msg, deliver) })
-	n.metrics.Counter("net.delivered").Inc()
+	n.scheduleArrival(dst, delay, msg, deliver)
+	n.deliveredC.Inc()
 	return nil
 }
 
-// arrive completes one delivery: under DropInFlight a cross-site message
-// whose link dropped while it was on the wire is discarded, and the
-// DeliverHook (if any) observes whatever actually lands.
-func (n *Network) arrive(msg Message, deliver func(Message)) {
+// scheduleArrival books the arrival event on the destination site's shard,
+// carrying the message in a pooled transit released at delivery.
+func (n *Network) scheduleArrival(dst *Site, delay sim.Time, msg Message, deliver func(Message)) {
+	t := n.acquireTransit()
+	t.msg = msg
+	t.deliver = deliver
+	n.eng.ScheduleArgShard(dst.shard, delay, n.arriveFn, t)
+}
+
+// arriveTransit completes one delivery: under DropInFlight a cross-site
+// message whose link dropped while it was on the wire is discarded, and
+// the DeliverHook (if any) observes whatever actually lands. The transit
+// returns to the pool when delivery (including everything the receiver
+// does synchronously) finishes.
+func (n *Network) arriveTransit(x any) {
+	t := x.(*transit)
+	msg, deliver := t.msg, t.deliver
+	n.releaseTransit(t)
 	r := n.prof.Enter(prof.SiteNetDeliver)
 	defer r.End()
 	if n.DropInFlight && msg.From != msg.To {
 		if l := n.LinkBetween(msg.From, msg.To); l == nil || !l.up {
-			n.metrics.Counter("net.inflight_drops").Inc()
+			n.inflightC.Inc()
 			return
 		}
 	}

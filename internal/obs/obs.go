@@ -100,6 +100,9 @@ type Engine struct {
 	tracer   *trace.Tracer
 	prof     *prof.Profiler
 	derived  *telemetry.Registry
+	// dropG caches trace.dropped{site=...} gauges per site so the sampling
+	// tick never rebuilds a labeled key; reset when derived changes.
+	dropG    map[string]*telemetry.Gauge
 	slos     []*sloState
 	rec      *recorder
 	link     *linker
@@ -197,6 +200,7 @@ func (e *Engine) ExportTo(reg *telemetry.Registry) {
 	}
 	e.mu.Lock()
 	e.derived = reg
+	e.dropG = nil
 	e.mu.Unlock()
 }
 
@@ -208,7 +212,15 @@ func (e *Engine) exportTraceDropsLocked() {
 		return
 	}
 	for site, n := range e.tracer.DroppedBySite() {
-		e.derived.Gauge(telemetry.Key("trace.dropped", "site", site)).Set(float64(n))
+		g, ok := e.dropG[site]
+		if !ok {
+			if e.dropG == nil {
+				e.dropG = make(map[string]*telemetry.Gauge)
+			}
+			g = e.derived.Gauge(telemetry.Key("trace.dropped", "site", site))
+			e.dropG[site] = g
+		}
+		g.Set(float64(n))
 	}
 }
 

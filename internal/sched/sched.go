@@ -291,6 +291,9 @@ type tenantQ struct {
 	// sched.wait_s{site=...,tenant=...}, resolved once at registration so
 	// the dispatch path pays no per-event name lookup.
 	waitHist *telemetry.Histogram
+	// retriesC is sched.retries{site=...,tenant=...}, cached for the same
+	// reason: building a canonical Key allocates, and retry storms are hot.
+	retriesC *telemetry.Counter
 }
 
 // siteSched is the per-site dispatcher: the fair-share queues for work
@@ -338,6 +341,10 @@ type Scheduler struct {
 
 	pumpQueued bool
 	stopTicker func()
+
+	// requeueC caches the sched.requeues{reason=...} counters; the reason
+	// vocabulary is tiny, so each canonical Key is built at most once.
+	requeueC map[string]*telemetry.Counter
 
 	// Observer, when non-nil, receives a Decision at every job lifecycle
 	// transition (submit, dispatch, retry, rescue, terminal outcome). Set it
@@ -466,6 +473,8 @@ func (ss *siteSched) tenant(cfg TenantConfig) *tenantQ {
 		t = &tenantQ{cfg: cfg}
 		if ss.met != nil {
 			t.waitHist = ss.met.Histogram(telemetry.Key("sched.wait_s",
+				"site", string(ss.bind.ID), "tenant", cfg.ID))
+			t.retriesC = ss.met.Counter(telemetry.Key("sched.retries",
 				"site", string(ss.bind.ID), "tenant", cfg.ID))
 		}
 		ss.tenants[cfg.ID] = t
@@ -992,8 +1001,17 @@ func (s *Scheduler) endFlight(qj *queuedJob) {
 // with no failures never touches the stream.
 func (s *Scheduler) retry(qj *queuedJob, cause error) {
 	qj.attempt++
-	s.metrics.Counter(telemetry.Key("sched.retries",
-		"site", string(qj.job.Origin), "tenant", qj.job.Tenant)).Inc()
+	if ss := s.sites[qj.job.Origin]; ss != nil {
+		if t := ss.tenants[qj.job.Tenant]; t != nil && t.retriesC != nil {
+			t.retriesC.Inc()
+		} else {
+			s.metrics.Counter(telemetry.Key("sched.retries",
+				"site", string(qj.job.Origin), "tenant", qj.job.Tenant)).Inc()
+		}
+	} else {
+		s.metrics.Counter(telemetry.Key("sched.retries",
+			"site", string(qj.job.Origin), "tenant", qj.job.Tenant)).Inc()
+	}
 	s.observe(DecisionRetry, qj, cause.Error())
 	backoff := s.opts.RetryBase << uint(qj.attempt-1)
 	if backoff > s.opts.RetryMax || backoff <= 0 {
@@ -1061,12 +1079,26 @@ func (s *Scheduler) flightLost(qj *queuedJob) bool {
 	return in != nil && in.State() == instrument.StateDown
 }
 
+// requeueCounter resolves sched.requeues{reason=...} through a small
+// per-reason cache so steady-state requeues never rebuild the labeled key.
+func (s *Scheduler) requeueCounter(reason string) *telemetry.Counter {
+	if c, ok := s.requeueC[reason]; ok {
+		return c
+	}
+	if s.requeueC == nil {
+		s.requeueC = make(map[string]*telemetry.Counter)
+	}
+	c := s.metrics.Counter(telemetry.Key("sched.requeues", "reason", reason))
+	s.requeueC[reason] = c
+	return c
+}
+
 // requeue returns a job to its origin site's tenant queue after a failed
 // dispatch or a rescue. If the tenant has been released meanwhile, the job
 // terminates with ErrCanceled instead of resurrecting the tenant.
 func (s *Scheduler) requeue(qj *queuedJob, reason, kind string, backoff sim.Time) {
 	now := s.eng.Now()
-	s.metrics.Counter(telemetry.Key("sched.requeues", "reason", reason)).Inc()
+	s.requeueCounter(reason).Inc()
 	ss := s.sites[qj.job.Origin]
 	var t *tenantQ
 	if ss != nil {

@@ -2,15 +2,17 @@
 // that underpins every AISLE substrate: networks, instruments, agents, and
 // campaigns all advance on the same virtual clock.
 //
-// The kernel is intentionally sequential. Events execute in a total order
-// defined by (time, sequence number), which makes every simulation run
-// bit-reproducible for a given seed regardless of host parallelism.
-// Parallelism in AISLE lives one level up: experiment harnesses run many
-// independent simulations concurrently, each with its own Engine.
+// The kernel executes events in a total order defined by (time, sequence
+// number), which makes every simulation run bit-reproducible for a given
+// seed regardless of host parallelism. Internally the pending set is held
+// in per-shard hierarchical timer wheels (see wheel.go) with pooled event
+// nodes, so Schedule/fire/Cancel allocate nothing in steady state; the
+// shards are merged deterministically by exact (time, sequence) order, so
+// shard count never changes a trajectory — sequential single-shard mode is
+// the reference and sharded mode is proven byte-identical against it.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -50,60 +52,36 @@ func (t Time) Std() time.Duration { return time.Duration(t) }
 // String formats the instant using duration notation (e.g. "1h3m0.25s").
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. Events are single-shot: after firing or
-// cancellation they are inert. The zero value is not usable; events are
-// created by Engine scheduling methods.
+// Event is a handle to a scheduled callback. Events are single-shot: after
+// firing or cancellation the underlying node returns to the engine's pool
+// and the handle goes stale. Handles are generation-checked values, so
+// holding (or cancelling) a stale handle is always safe — it is simply a
+// no-op. The zero Event is a valid "no event" handle.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	fired    bool
-	index    int // heap index, -1 when not queued
-	label    string
+	n   *node
+	gen uint32
+	at  Time
 }
 
-// At reports the virtual instant the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+// At reports the virtual instant the event was scheduled for. It remains
+// valid after the event fires or is cancelled.
+func (e Event) At() Time { return e.at }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
+// Valid reports whether the handle refers to an event at all (as opposed to
+// the zero Event).
+func (e Event) Valid() bool { return e.n != nil }
 
-// Fired reports whether the event callback has run.
-func (e *Event) Fired() bool { return e.fired }
+// Pending reports whether the event is still queued: it has neither fired
+// nor been cancelled.
+func (e Event) Pending() bool { return e.n != nil && e.n.gen == e.gen }
 
-// Label returns the diagnostic label attached at scheduling time.
-func (e *Event) Label() string { return e.label }
-
-// eventHeap orders events by (time, sequence) so simultaneous events fire in
-// scheduling order — the property that makes runs reproducible.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Label returns the diagnostic label attached at scheduling time, or ""
+// once the event has completed and its node been recycled.
+func (e Event) Label() string {
+	if e.n != nil && e.n.gen == e.gen {
+		return e.n.label
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return ""
 }
 
 // ErrHorizon is returned by Run when the configured event horizon is reached
@@ -112,11 +90,23 @@ var ErrHorizon = errors.New("sim: event horizon reached")
 
 // Engine is a discrete-event simulation executive. The zero value is ready
 // to use; NewEngine is provided for symmetry and future options.
+//
+// An Engine always has at least one event shard (shard 0). AddShard
+// registers additional shards — typically one per simulated site — each
+// with its own timer wheel. The executive merges shard heads by exact
+// (time, sequence) order, so the trajectory is identical whatever the
+// shard count; shards exist so the pending set scales (each wheel stays
+// small and cache-resident) and to carve the conservative-lookahead
+// boundaries for parallel execution (see Lookahead).
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	running bool
+	now    Time
+	seq    uint64
+	shards []*shard
+	free   *node // node freelist, linked through next
+
+	curShard int // shard of the currently executing event
+	pending  int
+	running  bool
 
 	// Horizon bounds the number of events processed in a single Run call.
 	// Zero means no bound.
@@ -127,10 +117,66 @@ type Engine struct {
 	Prof *prof.Profiler
 
 	processed uint64
+	lookahead Time
 }
 
 // NewEngine returns an Engine positioned at virtual time zero.
 func NewEngine() *Engine { return &Engine{} }
+
+func (e *Engine) ensure() {
+	if len(e.shards) == 0 {
+		e.shards = append(e.shards, newShard())
+	}
+}
+
+// AddShard registers a new event shard and returns its index. Shard 0
+// always exists and is the default for events scheduled outside any
+// sharded context. Events scheduled from within an executing event inherit
+// that event's shard unless placed explicitly with the *Shard variants.
+func (e *Engine) AddShard() int {
+	e.ensure()
+	e.shards = append(e.shards, newShard())
+	return len(e.shards) - 1
+}
+
+// Shards reports the number of event shards (always >= 1 once the engine
+// has been used).
+func (e *Engine) Shards() int {
+	e.ensure()
+	return len(e.shards)
+}
+
+// SetLookahead records the conservative lookahead: the minimum cross-shard
+// propagation latency (in netsim terms, the fastest link between sites).
+// No event scheduled by shard A into shard B can land earlier than B's
+// horizon + lookahead, which is the classic PDES safe window. The current
+// executive merges shards exactly, so lookahead is advisory — it sizes the
+// safe window reported by ShardStats and bounds future parallel execution.
+func (e *Engine) SetLookahead(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e.lookahead = d
+}
+
+// Lookahead reports the conservative cross-shard lookahead window.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// ShardStat describes one shard's progress for observability.
+type ShardStat struct {
+	Pending   int    // events currently queued on this shard
+	Processed uint64 // events fired from this shard
+}
+
+// ShardStats returns per-shard queue depth and fire counts.
+func (e *Engine) ShardStats() []ShardStat {
+	e.ensure()
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardStat{Pending: s.count, Processed: s.processed}
+	}
+	return out
+}
 
 // Now reports current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -138,90 +184,202 @@ func (e *Engine) Now() Time { return e.now }
 // Processed reports the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending reports the number of events currently queued (including events
-// that were cancelled but not yet popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of live events currently queued. Cancelled
+// events leave the queue immediately and are not counted.
+func (e *Engine) Pending() int { return e.pending }
+
+// acquire pops a node from the freelist or allocates one.
+func (e *Engine) acquire() *node {
+	n := e.free
+	if n == nil {
+		return &node{}
+	}
+	e.free = n.next
+	n.next = nil
+	return n
+}
+
+// release recycles a completed node. Bumping the generation invalidates
+// every outstanding handle before the node is reused.
+func (e *Engine) release(n *node) {
+	n.gen++
+	n.fn = nil
+	n.fnA = nil
+	n.arg = nil
+	n.label = ""
+	n.prev = nil
+	n.where = whereFree
+	n.next = e.free
+	e.free = n
+}
 
 // Schedule arranges for fn to run after delay d. Negative delays are
 // clamped to zero, which schedules fn for the current instant after all
 // already-queued events at that instant.
-func (e *Engine) Schedule(d Time, fn func()) *Event {
+func (e *Engine) Schedule(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
 }
 
+// ScheduleArg is Schedule without the closure: fn is invoked with arg at
+// fire time. Hot paths use it with a prebound method value and a pooled
+// argument so scheduling allocates nothing.
+func (e *Engine) ScheduleArg(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil function")
+	}
+	return e.at(e.now+d, nil, fn, arg, e.curShard)
+}
+
+// ScheduleShard is Schedule targeting an explicit event shard, used by the
+// network layer to place deliveries on the destination site's shard.
+func (e *Engine) ScheduleShard(shardIdx int, d Time, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	if fn == nil {
+		panic("sim: ScheduleShard called with nil function")
+	}
+	return e.at(e.now+d, fn, nil, nil, shardIdx)
+}
+
+// ScheduleArgShard combines ScheduleArg and ScheduleShard.
+func (e *Engine) ScheduleArgShard(shardIdx int, d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	if fn == nil {
+		panic("sim: ScheduleArgShard called with nil function")
+	}
+	return e.at(e.now+d, nil, fn, arg, shardIdx)
+}
+
 // ScheduleLabeled is Schedule with a diagnostic label used in traces.
-func (e *Engine) ScheduleLabeled(d Time, label string, fn func()) *Event {
+func (e *Engine) ScheduleLabeled(d Time, label string, fn func()) Event {
 	ev := e.Schedule(d, fn)
-	ev.label = label
+	ev.n.label = label
 	return ev
 }
 
 // At arranges for fn to run at absolute virtual instant t. Instants in the
 // past are clamped to the current time.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
+	return e.at(t, fn, nil, nil, e.curShard)
+}
+
+func (e *Engine) at(t Time, fn func(), fnA func(any), arg any, shardIdx int) Event {
+	e.ensure()
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	if shardIdx < 0 || shardIdx >= len(e.shards) {
+		panic(fmt.Sprintf("sim: schedule on unknown shard %d (have %d)", shardIdx, len(e.shards)))
+	}
+	n := e.acquire()
+	n.at = t
+	n.seq = e.seq
+	n.fn = fn
+	n.fnA = fnA
+	n.arg = arg
+	n.shard = int32(shardIdx)
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.pending++
+	e.shards[shardIdx].insert(n)
+	return Event{n: n, gen: n.gen, at: t}
 }
 
 // Cancel removes ev from the queue if it has not yet fired. Cancelling a
-// fired or already-cancelled event is a no-op. It reports whether the event
-// was actually cancelled by this call.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.fired || ev.canceled {
+// fired, already-cancelled, or zero event is a no-op. It reports whether
+// the event was actually cancelled by this call.
+func (e *Engine) Cancel(ev Event) bool {
+	n := ev.n
+	if n == nil || n.gen != ev.gen {
 		return false
 	}
-	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
-	}
+	e.shards[n.shard].remove(n)
+	e.pending--
+	e.release(n)
 	return true
 }
 
-// Reschedule cancels ev and schedules fn-preserving copy after delay d,
+// Reschedule cancels ev and schedules its callback anew after delay d,
 // returning the new event. It is a convenience for timer-refresh patterns
-// (heartbeats, token renewal, lease refresh).
-func (e *Engine) Reschedule(ev *Event, d Time) *Event {
-	if ev == nil {
-		return nil
+// (heartbeats, token renewal, lease refresh). Rescheduling a completed or
+// zero event returns the zero Event.
+func (e *Engine) Reschedule(ev Event, d Time) Event {
+	n := ev.n
+	if n == nil || n.gen != ev.gen {
+		return Event{}
 	}
-	fn := ev.fn
+	fn, fnA, arg, label := n.fn, n.fnA, n.arg, n.label
+	shardIdx := int(n.shard)
 	e.Cancel(ev)
-	n := e.Schedule(d, fn)
-	n.label = ev.label
-	return n
+	if d < 0 {
+		d = 0
+	}
+	nev := e.at(e.now+d, fn, fnA, arg, shardIdx)
+	nev.n.label = label
+	return nev
+}
+
+// minShard returns the shard holding the globally earliest (time, seq)
+// event, or nil when every shard is drained. This is the deterministic
+// merge point: because the comparison is the exact total order, the merged
+// trajectory is identical to the single-shard reference bit for bit.
+func (e *Engine) minShard() *shard {
+	var best *shard
+	for _, s := range e.shards {
+		if !s.peek() {
+			continue
+		}
+		if best == nil || s.headAt < best.headAt ||
+			(s.headAt == best.headAt && s.headSeq < best.headSeq) {
+			best = s
+		}
+	}
+	return best
 }
 
 // step executes the next event. It reports false when the queue is empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
-		}
-		e.now = ev.at
-		ev.fired = true
-		e.processed++
-		r := e.Prof.Enter(prof.SiteSimEvent)
-		ev.fn()
-		r.End()
-		return true
+	s := e.minShard()
+	if s == nil {
+		return false
 	}
-	return false
+	e.fire(s)
+	return true
+}
+
+// fire pops and executes the head event of shard s, which the caller has
+// established holds the global minimum.
+func (e *Engine) fire(s *shard) {
+	n := s.popHead()
+	if n.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, n.at))
+	}
+	e.now = n.at
+	e.curShard = int(n.shard)
+	e.pending--
+	e.processed++
+	s.processed++
+	fn, fnA, arg := n.fn, n.fnA, n.arg
+	e.release(n)
+	r := e.Prof.Enter(prof.SiteSimEvent)
+	if fnA != nil {
+		fnA(arg)
+	} else {
+		fn()
+	}
+	r.End()
+	e.curShard = 0
 }
 
 // Run executes events until the queue drains. It returns ErrHorizon if the
@@ -237,22 +395,16 @@ func (e *Engine) RunUntil(limit Time) error {
 	if e.running {
 		panic("sim: re-entrant Run")
 	}
+	e.ensure()
 	e.running = true
 	defer func() { e.running = false }()
 	var n uint64
-	for len(e.queue) > 0 {
-		// Peek: the heap root is the earliest event.
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > limit {
+	for {
+		s := e.minShard()
+		if s == nil || s.headAt > limit {
 			break
 		}
-		if !e.step() {
-			break
-		}
+		e.fire(s)
 		n++
 		if e.Horizon > 0 && n >= e.Horizon {
 			return ErrHorizon
@@ -274,7 +426,7 @@ func (e *Engine) Ticker(period Time, fn func(i int)) (stop func()) {
 	stopped := false
 	var tick func()
 	i := 0
-	var pending *Event
+	var pending Event
 	tick = func() {
 		if stopped {
 			return
@@ -293,4 +445,4 @@ func (e *Engine) Ticker(period Time, fn func(i int)) (stop func()) {
 }
 
 // After is a readability helper equivalent to Schedule.
-func (e *Engine) After(d Time, fn func()) *Event { return e.Schedule(d, fn) }
+func (e *Engine) After(d Time, fn func()) Event { return e.Schedule(d, fn) }

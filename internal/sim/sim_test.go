@@ -59,8 +59,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() || ev.Fired() {
-		t.Fatal("event state inconsistent after cancel")
+	if ev.Pending() {
+		t.Fatal("event still pending after cancel")
 	}
 }
 

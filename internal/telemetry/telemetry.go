@@ -78,6 +78,13 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets [220]int64 // 22 decades * 10
+	// recent is a preallocated ring of the latest raw observations: buckets
+	// answer quantiles, the ring answers "what exactly happened just now"
+	// for flight-recorder style readers. Fixed-size and written under mu, so
+	// steady-state recording allocates nothing and stays race-free.
+	recent [histRingLen]float64
+	rpos   int // next ring write slot
+	rlen   int // valid entries, saturating at histRingLen
 	// prof wraps each observation in a telemetry.record region when the
 	// owning registry has a spine profiler attached; nil costs one test.
 	prof *prof.Profiler
@@ -86,6 +93,7 @@ type Histogram struct {
 const (
 	histMinExp        = -9.0 // 1e-9
 	histBucketsPerDec = 10
+	histRingLen       = 256
 )
 
 func bucketFor(v float64) int {
@@ -120,7 +128,25 @@ func (h *Histogram) Observe(v float64) {
 	h.count++
 	h.sum += v
 	h.buckets[bucketFor(v)]++
+	h.recent[h.rpos] = v
+	h.rpos = (h.rpos + 1) % histRingLen
+	if h.rlen < histRingLen {
+		h.rlen++
+	}
 	h.mu.Unlock()
+}
+
+// Recent appends the ring's observations to dst in arrival order (oldest
+// first) and returns the extended slice. At most the latest 256 values are
+// retained; pass a reused buffer to read without allocating.
+func (h *Histogram) Recent(dst []float64) []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	start := (h.rpos - h.rlen + histRingLen) % histRingLen
+	for i := 0; i < h.rlen; i++ {
+		dst = append(dst, h.recent[(start+i)%histRingLen])
+	}
+	return dst
 }
 
 // Count reports the number of observations.
